@@ -1,0 +1,55 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	experiments [-quick] [-seeds 3] [-only E5] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"schemamap/internal/experiments"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "CI-sized scenarios")
+		seeds    = flag.Int("seeds", 0, "trials per configuration (0 = default)")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		only     = flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E5)")
+		markdown = flag.Bool("markdown", false, "emit markdown instead of aligned text")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick, Seeds: *seeds, BaseSeed: *seed}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	failed := false
+	for _, res := range experiments.All(opts) {
+		if res.Err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", res.Err)
+			failed = true
+			continue
+		}
+		if len(want) > 0 && !want[res.Table.ID] {
+			continue
+		}
+		if *markdown {
+			fmt.Println(res.Table.Markdown())
+		} else {
+			fmt.Println(res.Table.Render())
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

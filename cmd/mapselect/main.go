@@ -1,0 +1,90 @@
+// Command mapselect runs mapping selection over a scenario JSON file
+// (produced by scenariogen) and reports the selected mapping, its
+// Eq. (9) objective, and quality against the scenario's gold mapping.
+//
+// Usage:
+//
+//	mapselect -scenario sc.json [-solver collective] [-w1 1 -w2 1 -w3 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"schemamap/internal/core"
+	"schemamap/internal/cover"
+	"schemamap/internal/ibench"
+	"schemamap/internal/metrics"
+)
+
+func main() {
+	var (
+		path    = flag.String("scenario", "", "scenario JSON file (required)")
+		solver  = flag.String("solver", "collective", "solver: collective | greedy | independent | exhaustive")
+		w1      = flag.Float64("w1", 1, "weight of unexplained tuples")
+		w2      = flag.Float64("w2", 1, "weight of errors")
+		w3      = flag.Float64("w3", 1, "weight of mapping size")
+		quiet   = flag.Bool("q", false, "print only the selected tgds")
+		explain = flag.Bool("explain", false, "print the provenance report (witnesses, unexplained tuples, errors)")
+	)
+	flag.Parse()
+	if *path == "" {
+		fatal(fmt.Errorf("missing -scenario"))
+	}
+	b, err := os.ReadFile(*path)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := ibench.UnmarshalScenario(b)
+	if err != nil {
+		fatal(err)
+	}
+
+	var s core.Solver
+	switch *solver {
+	case "collective":
+		s = core.CollectiveSolver{}
+	case "greedy":
+		s = core.GreedySolver{}
+	case "independent":
+		s = core.IndependentSolver{}
+	case "exhaustive":
+		s = core.ExhaustiveSolver{}
+	default:
+		fatal(fmt.Errorf("unknown solver %q", *solver))
+	}
+
+	p := core.NewProblem(sc.I, sc.J, sc.Candidates)
+	p.Weights = core.Weights{Explain: *w1, Error: *w2, Size: *w3}
+	sel, err := s.Solve(p)
+	if err != nil {
+		fatal(err)
+	}
+
+	chosen := p.SelectedMapping(sel.Chosen)
+	for _, d := range chosen {
+		fmt.Println(d)
+	}
+	if *quiet {
+		return
+	}
+	fmt.Printf("\nsolver      : %s (%v, %d iterations)\n", sel.Solver, sel.Runtime, sel.Iterations)
+	fmt.Printf("objective   : %s\n", sel.Objective)
+	fmt.Printf("selected    : %d of %d candidates\n", sel.Count(), len(sc.Candidates))
+	if len(sc.Gold) > 0 {
+		mp := metrics.MappingPRF(chosen, sc.Gold)
+		tp := metrics.TuplePRF(sc.I, chosen, sc.Gold)
+		fmt.Printf("mapping PRF : %s\n", mp)
+		fmt.Printf("tuple PRF   : %s\n", tp)
+	}
+	if *explain {
+		rep := cover.Explain(sc.I, sc.J, sc.Candidates, sel.Chosen, cover.DefaultOptions())
+		fmt.Printf("\n%s", rep.Summary(10))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mapselect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Bibliography: integrating a flat publication feed into a normalised
+// bibliographic schema — the classic data-exchange setting the paper's
+// introduction motivates.
+//
+// The source exposes one wide relation per feed; the curated target
+// splits publications, venues and author links into joined relations.
+// The attribute correspondences come from an (imperfect) schema
+// matcher: the genuine matches plus a spurious one. The example
+// compares all four solvers and scores them against the intended gold
+// mapping.
+//
+// Run with: go run ./examples/bibliography
+package main
+
+import (
+	"fmt"
+	"log"
+
+	schemamap "schemamap"
+)
+
+func main() {
+	// Source: two publication feeds.
+	//   feedA(title, author, venue, year)
+	//   feedB(title, booktitle)
+	src := schemamap.NewSchema("feeds")
+	src.MustAddRelation(schemamap.NewRelation("feedA", "title", "author", "venue", "year"))
+	src.MustAddRelation(schemamap.NewRelation("feedB", "title", "booktitle"))
+
+	// Target: normalised bibliography.
+	//   pub(pid, title, vid)   venue(vid, name)   wrote(pid, author)
+	tgt := schemamap.NewSchema("bibliography")
+	tgt.MustAddRelation(schemamap.NewRelation("pub", "pid", "title", "vid"))
+	tgt.MustAddRelation(schemamap.NewRelation("venue", "vid", "name"))
+	tgt.MustAddRelation(schemamap.NewRelation("wrote", "pid", "author"))
+	tgt.MustAddFK(schemamap.ForeignKey{FromRel: "pub", FromCols: []int{2}, ToRel: "venue", ToCols: []int{0}})
+	tgt.MustAddFK(schemamap.ForeignKey{FromRel: "wrote", FromCols: []int{0}, ToRel: "pub", ToCols: []int{0}})
+
+	// Matcher output: feedA's fields map into the normalised schema;
+	// feedB's booktitle is wrongly matched to venue names (a spurious
+	// correspondence a matcher might produce).
+	corrs := schemamap.Correspondences{
+		{SourceRel: "feedA", SourcePos: 0, TargetRel: "pub", TargetPos: 1},
+		{SourceRel: "feedA", SourcePos: 1, TargetRel: "wrote", TargetPos: 1},
+		{SourceRel: "feedA", SourcePos: 2, TargetRel: "venue", TargetPos: 1},
+		{SourceRel: "feedB", SourcePos: 0, TargetRel: "pub", TargetPos: 1},
+		{SourceRel: "feedB", SourcePos: 1, TargetRel: "venue", TargetPos: 1}, // spurious
+	}
+
+	// Source data: a dozen feedA rows; feedB covers other material.
+	I := schemamap.NewInstance()
+	venues := []string{"ICDE", "VLDB", "SIGMOD"}
+	authors := []string{"Kimmig", "Memory", "Miller", "Getoor"}
+	for i := 0; i < 12; i++ {
+		I.Add(schemamap.NewTuple("feedA",
+			fmt.Sprintf("Paper %d", i),
+			authors[i%len(authors)],
+			venues[i%len(venues)],
+			fmt.Sprintf("20%02d", 10+i%8)))
+	}
+	for i := 0; i < 4; i++ {
+		I.Add(schemamap.NewTuple("feedB", fmt.Sprintf("Chapter %d", i), "Handbook"))
+	}
+
+	// The curated target was populated from feedA only: publications
+	// joined to venues, and author links — the gold mapping's output.
+	gold := schemamap.Mapping{
+		schemamap.MustParseTGD("feedA(t,a,v,y) -> pub(P,t,V) & venue(V,v) & wrote(P,a)"),
+	}
+	J := buildTargetFrom(I, gold)
+
+	// Generate candidates and select.
+	cands, err := schemamap.GenerateCandidates(src, tgt, corrs, schemamap.DefaultClioOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d candidate tgds from %d correspondences:\n", len(cands), len(corrs))
+	for _, d := range cands {
+		fmt.Printf("  %v\n", d)
+	}
+
+	solvers := []schemamap.Solver{
+		schemamap.Independent(),
+		schemamap.Greedy(),
+		schemamap.Collective(),
+		schemamap.Exhaustive(),
+	}
+	fmt.Printf("\n%-12s  %8s  %4s  %9s  %9s  %s\n",
+		"solver", "F", "|M|", "map-F1", "tuple-F1", "selected")
+	for _, s := range solvers {
+		p := schemamap.NewProblem(I, J, cands)
+		sel, err := s.Solve(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chosen := p.SelectedMapping(sel.Chosen)
+		mp := schemamap.MappingPRF(chosen, gold)
+		tp := schemamap.TuplePRF(I, chosen, gold)
+		fmt.Printf("%-12s  %8.2f  %4d  %9.3f  %9.3f  %v\n",
+			s.Name(), sel.Objective.Total(), sel.Count(), mp.F1(), tp.F1(), sel.Indices())
+	}
+	fmt.Println("\nthe spurious feedB correspondence generates candidates, but no")
+	fmt.Println("solver that accounts for errors selects them — and only the")
+	fmt.Println("collective objective prefers the single joined tgd over a pile")
+	fmt.Println("of per-relation fragments.")
+}
+
+// buildTargetFrom materialises the curated target instance the gold
+// mapping would have produced, with concrete publication and venue
+// identifiers where the mapping uses existentials.
+func buildTargetFrom(I *schemamap.Instance, gold schemamap.Mapping) *schemamap.Instance {
+	_ = gold // documents intent; the loop below is its ground instantiation
+	J := schemamap.NewInstance()
+	pid := 0
+	for _, t := range I.Tuples("feedA") {
+		pid++
+		p := fmt.Sprintf("p%d", pid)
+		v := "v-" + t.Args[2].Name()
+		J.Add(schemamap.NewTuple("pub", p, t.Args[0].Name(), v))
+		J.Add(schemamap.NewTuple("venue", v, t.Args[2].Name()))
+		J.Add(schemamap.NewTuple("wrote", p, t.Args[1].Name()))
+	}
+	return J
+}

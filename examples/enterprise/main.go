@@ -1,0 +1,101 @@
+// Enterprise: the paper appendix's extended example, reproduced
+// number for number.
+//
+// This example walks through the Eq. (9) objective on the reduced
+// candidate set C′ = {θ1, θ3}: the objective table for all four
+// subsets, and the overfitting guard — with the base instance the
+// empty mapping wins, and adding five more "ML-like" projects flips
+// the optimum to {θ3}.
+//
+// Run with: go run ./examples/enterprise
+package main
+
+import (
+	"fmt"
+	"log"
+
+	schemamap "schemamap"
+)
+
+func baseExample() (I, J *schemamap.Instance) {
+	I = schemamap.NewInstance()
+	I.Add(schemamap.NewTuple("proj", "BigData", "Bob", "IBM"))
+	I.Add(schemamap.NewTuple("proj", "ML", "Alice", "SAP"))
+	J = schemamap.NewInstance()
+	J.Add(schemamap.NewTuple("task", "ML", "Alice", "111"))
+	J.Add(schemamap.NewTuple("org", "111", "SAP"))
+	J.Add(schemamap.NewTuple("task", "Search", "Carol", "222"))
+	J.Add(schemamap.NewTuple("org", "222", "Google"))
+	return I, J
+}
+
+func main() {
+	th1 := schemamap.MustParseTGD("proj(p,e,c) -> task(p,e,O)")
+	th3 := schemamap.MustParseTGD("proj(p,e,c) -> task(p,e,O) & org(O,c)")
+	candidates := schemamap.Mapping{th1, th3}
+
+	I, J := baseExample()
+	p := schemamap.NewProblem(I, J, candidates)
+
+	fmt.Println("Eq. (9) objective over subsets of {θ1, θ3} (appendix table):")
+	fmt.Printf("%-10s  %14s  %8s  %5s  %7s\n", "M", "Σ(1−explains)", "Σ error", "size", "Eq.(9)")
+	subsets := []struct {
+		name string
+		sel  []bool
+	}{
+		{"{}", []bool{false, false}},
+		{"{θ1}", []bool{true, false}},
+		{"{θ3}", []bool{false, true}},
+		{"{θ1,θ3}", []bool{true, true}},
+	}
+	for _, s := range subsets {
+		b := p.Objective(s.sel)
+		fmt.Printf("%-10s  %14.4g  %8.4g  %5.4g  %7.4g\n",
+			s.name, b.Unexplained, b.Errors, b.Size, b.Total())
+	}
+
+	exact, err := schemamap.Exhaustive().Solve(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimal selection on the base instance: %v (F=%.4g)\n",
+		names(exact.Chosen), exact.Objective.Total())
+	fmt.Println("— the empty mapping: an overfitting guard on tiny data.")
+
+	// Add five more ML-like projects and watch the optimum flip.
+	for k := 1; k <= 6; k++ {
+		I, J := baseExample()
+		for i := 0; i < k; i++ {
+			name := fmt.Sprintf("X%d", i)
+			I.Add(schemamap.NewTuple("proj", name, "Alice", "SAP"))
+			J.Add(schemamap.NewTuple("task", name, "Alice", "111"))
+		}
+		p := schemamap.NewProblem(I, J, candidates)
+		exact, err := schemamap.Exhaustive().Solve(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		coll, err := schemamap.Collective().Solve(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("+%d projects: exact %-8v F=%-6.4g  collective %-8v F=%.4g\n",
+			k, names(exact.Chosen), exact.Objective.Total(),
+			names(coll.Chosen), coll.Objective.Total())
+	}
+	fmt.Println("— at +5 the optimum flips to {θ3}, exactly as the appendix states.")
+}
+
+func names(sel []bool) string {
+	labels := []string{"θ1", "θ3"}
+	out := "{"
+	for i, on := range sel {
+		if on {
+			if len(out) > 1 {
+				out += ","
+			}
+			out += labels[i]
+		}
+	}
+	return out + "}"
+}

@@ -1,0 +1,80 @@
+// Learning: the paper's "learn the objective weights" extension.
+//
+// Under data noise (here: tuples deleted from the target, piErrors)
+// the unweighted Eq. (9) objective under-selects — mappings whose
+// output was partially deleted look error-prone and get dropped. If a
+// few curated scenarios with known gold mappings are available, the
+// weights (w₁, w₂, w₃) can be learned by a structured perceptron:
+// whenever the solver disagrees with the gold selection, weights move
+// so the gold scores better. This example trains on two noisy
+// scenarios and evaluates on held-out seeds.
+//
+// Run with: go run ./examples/learning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	schemamap "schemamap"
+)
+
+func makeScenario(seed int64) (*schemamap.Scenario, *schemamap.Problem) {
+	cfg := schemamap.DefaultScenarioConfig(6, seed)
+	cfg.Rows = 30
+	cfg.PiCorresp = 25
+	cfg.PiErrors = 25
+	sc, err := schemamap.GenerateScenario(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sc, schemamap.NewProblem(sc.I, sc.J, sc.Candidates)
+}
+
+func evaluate(w schemamap.Weights, seeds []int64) (mapF1, tupF1 float64) {
+	for _, seed := range seeds {
+		sc, p := makeScenario(seed)
+		p.Weights = w
+		sel, err := schemamap.Collective().Solve(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chosen := p.SelectedMapping(sel.Chosen)
+		mapF1 += schemamap.MappingPRF(chosen, sc.Gold).F1()
+		tupF1 += schemamap.TuplePRF(sc.I, chosen, sc.Gold).F1()
+	}
+	n := float64(len(seeds))
+	return mapF1 / n, tupF1 / n
+}
+
+func main() {
+	// Train on two scenarios with known gold selections.
+	var examples []schemamap.LearnExample
+	for _, seed := range []int64{101, 102} {
+		sc, p := makeScenario(seed)
+		examples = append(examples, schemamap.LearnExample{
+			Problem: p,
+			Gold:    sc.GoldSelection(),
+		})
+	}
+	learned, err := schemamap.LearnWeights(examples, schemamap.DefaultLearnOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	test := []int64{201, 202, 203, 204}
+	dm, dt := evaluate(schemamap.Weights{Explain: 1, Error: 1, Size: 1}, test)
+	lm, lt := evaluate(learned, test)
+
+	fmt.Println("weight learning under piErrors=25 noise:")
+	fmt.Printf("  %-8s  w1=%.2f w2=%.2f w3=%.2f   test map-F1=%.3f tuple-F1=%.3f\n",
+		"default", 1.0, 1.0, 1.0, dm, dt)
+	fmt.Printf("  %-8s  w1=%.2f w2=%.2f w3=%.2f   test map-F1=%.3f tuple-F1=%.3f\n",
+		"learned", learned.Explain, learned.Error, learned.Size, lm, lt)
+	if lm >= dm {
+		fmt.Println("\nlearning raised the explanation weight and recovered the")
+		fmt.Println("tgds that error noise had made look too expensive.")
+	} else {
+		fmt.Println("\n(on these seeds the defaults were already adequate)")
+	}
+}

@@ -1,0 +1,68 @@
+package chase
+
+import (
+	"fmt"
+	"testing"
+
+	"schemamap/internal/data"
+	"schemamap/internal/tgd"
+)
+
+func benchInstance(rows int) *data.Instance {
+	I := data.NewInstance()
+	for i := 0; i < rows; i++ {
+		I.Add(data.NewTuple("r", fmt.Sprintf("k%d", i%7), fmt.Sprintf("v%d", i)))
+		I.Add(data.NewTuple("s", fmt.Sprintf("k%d", i%7), fmt.Sprintf("w%d", i)))
+	}
+	return I
+}
+
+func BenchmarkChaseCopy(b *testing.B) {
+	I := benchInstance(200)
+	d := tgd.MustParse("r(x,y) -> t(x,y)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ChaseOne(I, d, nil)
+	}
+}
+
+func BenchmarkChaseJoin(b *testing.B) {
+	I := benchInstance(100)
+	d := tgd.MustParse("r(k,x) & s(k,y) -> t(k,x,y)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ChaseOne(I, d, nil)
+	}
+}
+
+func BenchmarkChaseExistential(b *testing.B) {
+	I := benchInstance(200)
+	d := tgd.MustParse("r(x,y) -> t1(x,E) & t2(E,y)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ChaseOne(I, d, nil)
+	}
+}
+
+func BenchmarkCore(b *testing.B) {
+	I := benchInstance(50)
+	m := tgd.Mapping{
+		tgd.MustParse("r(x,y) -> t(x,E)"),
+		tgd.MustParse("r(x,y) -> t(x,E) & u(E,y)"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Chase(I, m, nil).Core()
+	}
+}
+
+func BenchmarkImplies(b *testing.B) {
+	sigma := tgd.MustParse("proj(p,e,c) -> task(p,e,O) & org(O,c)")
+	tau := tgd.MustParse("proj(p,e,c) -> task(p,e,O)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Implies(sigma, tau) {
+			b.Fatal("implication changed")
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package chase implements the naive chase for source-to-target tgds:
+// given a source instance I and a mapping M, it materialises the
+// canonical universal solution K_M, one *block* of target tuples per
+// tgd firing. Blocks record which tuples share freshly minted labelled
+// nulls — the unit the Eq. (9) coverage measures operate on.
+//
+// Because st tgds have no target-side constraints, the naive chase is
+// simply: for every tgd and every homomorphism from its body into I,
+// instantiate the head with fresh nulls for the existential variables.
+// The result is a canonical universal solution of (I, M).
+package chase
+
+import (
+	"fmt"
+
+	"schemamap/internal/data"
+	"schemamap/internal/tgd"
+)
+
+// Block is the set of target tuples produced by one tgd firing. The
+// tuples share the nulls minted for that firing's existential
+// variables.
+type Block struct {
+	// TGDIndex identifies the tgd (index into the chased mapping).
+	TGDIndex int
+	// Tuples are the instantiated head atoms, in head order.
+	Tuples []data.Tuple
+	// Binding maps body variables to the source values of the firing.
+	Binding map[string]data.Value
+}
+
+// Result is the output of a chase: the materialised instance plus the
+// per-firing blocks.
+type Result struct {
+	// Instance holds the union of all block tuples (set semantics;
+	// duplicate facts across firings are stored once, but each block
+	// still lists its own tuples).
+	Instance *data.Instance
+	// Blocks lists every firing, grouped by tgd in mapping order.
+	Blocks []Block
+}
+
+// BlocksOf returns the blocks produced by the tgd at the given index.
+func (r *Result) BlocksOf(tgdIndex int) []Block {
+	var out []Block
+	for _, b := range r.Blocks {
+		if b.TGDIndex == tgdIndex {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Chase runs the naive chase of I with the mapping m. Fresh nulls are
+// minted from nf; passing a shared factory across chases keeps null
+// labels globally unique. nf may be nil, in which case a private
+// factory is used.
+func Chase(I *data.Instance, m tgd.Mapping, nf *data.NullFactory) *Result {
+	if nf == nil {
+		nf = &data.NullFactory{}
+	}
+	res := &Result{Instance: data.NewInstance()}
+	for i, d := range m {
+		for _, binding := range MatchBody(d.Body, I) {
+			block := fire(i, d, binding, nf)
+			for _, t := range block.Tuples {
+				res.Instance.Add(t)
+			}
+			res.Blocks = append(res.Blocks, block)
+		}
+	}
+	return res
+}
+
+// ChaseOne chases I with the single tgd d.
+func ChaseOne(I *data.Instance, d *tgd.TGD, nf *data.NullFactory) *Result {
+	return Chase(I, tgd.Mapping{d}, nf)
+}
+
+// fire instantiates the head of d under the body binding, minting
+// fresh nulls for existential variables.
+func fire(tgdIndex int, d *tgd.TGD, binding map[string]data.Value, nf *data.NullFactory) Block {
+	exist := make(map[string]data.Value)
+	tuples := make([]data.Tuple, 0, len(d.Head))
+	for _, a := range d.Head {
+		args := make([]data.Value, len(a.Args))
+		for p, term := range a.Args {
+			switch {
+			case term.IsConst:
+				args[p] = data.Const(term.Name)
+			default:
+				if v, ok := binding[term.Name]; ok {
+					args[p] = v
+					continue
+				}
+				v, ok := exist[term.Name]
+				if !ok {
+					v = nf.Fresh()
+					exist[term.Name] = v
+				}
+				args[p] = v
+			}
+		}
+		tuples = append(tuples, data.Tuple{Rel: a.Rel, Args: args})
+	}
+	return Block{TGDIndex: tgdIndex, Tuples: tuples, Binding: binding}
+}
+
+// MatchBody enumerates all homomorphisms from the conjunctive body
+// into the instance, as variable bindings. Constants in body atoms
+// must match exactly. Bindings are returned in a deterministic order
+// (atom scan order), which keeps chase output and null labelling
+// reproducible for a fixed factory.
+func MatchBody(body []tgd.Atom, I *data.Instance) []map[string]data.Value {
+	bindings := []map[string]data.Value{{}}
+	for _, atom := range body {
+		if len(bindings) == 0 {
+			return nil
+		}
+		var next []map[string]data.Value
+		tuples := I.Tuples(atom.Rel)
+		for _, b := range bindings {
+			for _, t := range tuples {
+				if nb, ok := extend(b, atom, t); ok {
+					next = append(next, nb)
+				}
+			}
+		}
+		bindings = next
+	}
+	return bindings
+}
+
+// extend tries to unify atom against tuple t under binding b,
+// returning the extended binding.
+func extend(b map[string]data.Value, atom tgd.Atom, t data.Tuple) (map[string]data.Value, bool) {
+	if len(atom.Args) != len(t.Args) {
+		return nil, false
+	}
+	var added []string
+	nb := b
+	copied := false
+	for p, term := range atom.Args {
+		v := t.Args[p]
+		if term.IsConst {
+			if v.IsNull() || v.Name() != term.Name {
+				// Roll back is unnecessary: we only mutated a copy.
+				if copied {
+					for _, k := range added {
+						delete(nb, k)
+					}
+				}
+				return nil, false
+			}
+			continue
+		}
+		if bound, ok := nb[term.Name]; ok {
+			if bound != v {
+				if copied {
+					for _, k := range added {
+						delete(nb, k)
+					}
+				}
+				return nil, false
+			}
+			continue
+		}
+		if !copied {
+			nb = make(map[string]data.Value, len(b)+2)
+			for k, val := range b {
+				nb[k] = val
+			}
+			copied = true
+		}
+		nb[term.Name] = v
+		added = append(added, term.Name)
+	}
+	if !copied {
+		// Atom added no new bindings; reuse b but hand back a copy so
+		// later extensions do not alias.
+		nb = make(map[string]data.Value, len(b))
+		for k, val := range b {
+			nb[k] = val
+		}
+	}
+	return nb, true
+}
+
+// Validate sanity-checks a chase result: every block tuple must be
+// present in the instance, and every null in the instance must have
+// been minted by exactly one block.
+func (r *Result) Validate() error {
+	owner := make(map[string]int)
+	for bi, b := range r.Blocks {
+		for _, t := range b.Tuples {
+			if !r.Instance.Has(t) {
+				return fmt.Errorf("chase: block %d tuple %s missing from instance", bi, t)
+			}
+			for _, lbl := range t.Nulls() {
+				if prev, ok := owner[lbl]; ok && prev != bi {
+					return fmt.Errorf("chase: null %s shared across blocks %d and %d", lbl, prev, bi)
+				}
+				owner[lbl] = bi
+			}
+		}
+	}
+	return nil
+}

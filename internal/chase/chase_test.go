@@ -1,0 +1,179 @@
+package chase
+
+import (
+	"testing"
+
+	"schemamap/internal/data"
+	"schemamap/internal/tgd"
+)
+
+func srcInstance() *data.Instance {
+	I := data.NewInstance()
+	I.Add(data.NewTuple("proj", "BigData", "Bob", "IBM"))
+	I.Add(data.NewTuple("proj", "ML", "Alice", "SAP"))
+	return I
+}
+
+func TestChaseFullTGD(t *testing.T) {
+	I := srcInstance()
+	d := tgd.MustParse("proj(p,e,c) -> copy(p,e,c)")
+	res := ChaseOne(I, d, nil)
+	if res.Instance.Len() != 2 {
+		t.Fatalf("len = %d, want 2", res.Instance.Len())
+	}
+	if !res.Instance.Has(data.NewTuple("copy", "BigData", "Bob", "IBM")) {
+		t.Error("missing copied tuple")
+	}
+	if len(res.Blocks) != 2 {
+		t.Errorf("blocks = %d, want 2", len(res.Blocks))
+	}
+	if err := res.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChaseExistentials(t *testing.T) {
+	I := srcInstance()
+	d := tgd.MustParse("proj(p,e,c) -> task(p,e,O) & org(O,c)")
+	res := ChaseOne(I, d, nil)
+	if res.Instance.Len() != 4 {
+		t.Fatalf("len = %d, want 4", res.Instance.Len())
+	}
+	// Each firing shares one null across its two tuples, and firings
+	// use distinct nulls.
+	if len(res.Blocks) != 2 {
+		t.Fatalf("blocks = %d", len(res.Blocks))
+	}
+	seen := map[string]bool{}
+	for _, b := range res.Blocks {
+		taskNulls := b.Tuples[0].Nulls()
+		orgNulls := b.Tuples[1].Nulls()
+		if len(taskNulls) != 1 || len(orgNulls) != 1 || taskNulls[0] != orgNulls[0] {
+			t.Errorf("block nulls not shared: %v / %v", taskNulls, orgNulls)
+		}
+		if seen[taskNulls[0]] {
+			t.Errorf("null %s reused across firings", taskNulls[0])
+		}
+		seen[taskNulls[0]] = true
+	}
+	if err := res.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChaseJoinBody(t *testing.T) {
+	I := data.NewInstance()
+	I.Add(data.NewTuple("r1", "k1", "a"))
+	I.Add(data.NewTuple("r1", "k2", "b"))
+	I.Add(data.NewTuple("r2", "k1", "x"))
+	I.Add(data.NewTuple("r2", "k3", "y"))
+	d := tgd.MustParse("r1(k,a) & r2(k,b) -> t(k,a,b)")
+	res := ChaseOne(I, d, nil)
+	if res.Instance.Len() != 1 {
+		t.Fatalf("join produced %d tuples, want 1", res.Instance.Len())
+	}
+	if !res.Instance.Has(data.NewTuple("t", "k1", "a", "x")) {
+		t.Errorf("wrong join result: %v", res.Instance)
+	}
+}
+
+func TestChaseConstantInBody(t *testing.T) {
+	I := srcInstance()
+	d := tgd.MustParse("proj(p, e, 'SAP') -> sapProj(p, e)")
+	res := ChaseOne(I, d, nil)
+	if res.Instance.Len() != 1 || !res.Instance.Has(data.NewTuple("sapProj", "ML", "Alice")) {
+		t.Errorf("constant selection broken: %v", res.Instance)
+	}
+}
+
+func TestChaseConstantInHead(t *testing.T) {
+	I := srcInstance()
+	d := tgd.MustParse("proj(p,e,c) -> tagged(p, 'prod')")
+	res := ChaseOne(I, d, nil)
+	if !res.Instance.Has(data.NewTuple("tagged", "ML", "prod")) {
+		t.Errorf("head constant broken: %v", res.Instance)
+	}
+}
+
+func TestChaseRepeatedBodyVariable(t *testing.T) {
+	I := data.NewInstance()
+	I.Add(data.NewTuple("e", "a", "a"))
+	I.Add(data.NewTuple("e", "a", "b"))
+	d := tgd.MustParse("e(x,x) -> loop(x)")
+	res := ChaseOne(I, d, nil)
+	if res.Instance.Len() != 1 || !res.Instance.Has(data.NewTuple("loop", "a")) {
+		t.Errorf("repeated variable broken: %v", res.Instance)
+	}
+}
+
+func TestChaseMultipleTGDsSharedFactory(t *testing.T) {
+	I := srcInstance()
+	m := tgd.Mapping{
+		tgd.MustParse("proj(p,e,c) -> task(p,e,O)"),
+		tgd.MustParse("proj(p,e,c) -> task(p,e,O) & org(O,c)"),
+	}
+	nf := &data.NullFactory{}
+	res := Chase(I, m, nf)
+	// 2 tuples from θ1 + 4 from θ3 (nulls differ, so no dedup).
+	if res.Instance.Len() != 6 {
+		t.Errorf("len = %d, want 6", res.Instance.Len())
+	}
+	if got := res.BlocksOf(0); len(got) != 2 {
+		t.Errorf("BlocksOf(0) = %d", len(got))
+	}
+	if got := res.BlocksOf(1); len(got) != 2 {
+		t.Errorf("BlocksOf(1) = %d", len(got))
+	}
+	if err := res.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Factory minted one null per θ1 firing, one per θ3 firing.
+	if nf.Count() != 4 {
+		t.Errorf("nulls minted = %d, want 4", nf.Count())
+	}
+}
+
+func TestChaseEmptySourceOrMapping(t *testing.T) {
+	res := Chase(data.NewInstance(), tgd.Mapping{tgd.MustParse("a(x) -> b(x)")}, nil)
+	if res.Instance.Len() != 0 || len(res.Blocks) != 0 {
+		t.Error("chase of empty instance not empty")
+	}
+	res = Chase(srcInstance(), nil, nil)
+	if res.Instance.Len() != 0 {
+		t.Error("chase with empty mapping not empty")
+	}
+}
+
+func TestChaseDeterministicNullLabels(t *testing.T) {
+	I := srcInstance()
+	d := tgd.MustParse("proj(p,e,c) -> task(p,e,O)")
+	a := ChaseOne(I, d, &data.NullFactory{})
+	b := ChaseOne(I, d, &data.NullFactory{})
+	if !a.Instance.Equal(b.Instance) {
+		t.Error("chase nondeterministic")
+	}
+}
+
+func TestMatchBodyBindings(t *testing.T) {
+	I := data.NewInstance()
+	I.Add(data.NewTuple("r", "1", "2"))
+	I.Add(data.NewTuple("r", "3", "4"))
+	bindings := MatchBody(tgd.MustParse("r(x,y) -> s(x)").Body, I)
+	if len(bindings) != 2 {
+		t.Fatalf("bindings = %d", len(bindings))
+	}
+	// Bindings do not alias each other.
+	if bindings[0]["x"] == bindings[1]["x"] {
+		t.Error("bindings alias")
+	}
+}
+
+func TestMatchBodyNoNullMatchForConstant(t *testing.T) {
+	// A body constant must not match a labelled null in the instance.
+	I := data.NewInstance()
+	I.Add(data.Tuple{Rel: "r", Args: []data.Value{data.NullValue("N")}})
+	bindings := MatchBody(tgd.MustParse("r('a') -> s('a')").Body, I)
+	if len(bindings) != 0 {
+		t.Errorf("constant matched null: %v", bindings)
+	}
+}

@@ -1,0 +1,97 @@
+package chase
+
+// Core computation for st-tgd chase results. The canonical universal
+// solution produced by the naive chase is generally not minimal:
+// selecting both θ1: proj→task and θ3: proj→task∧org materialises two
+// homomorphically equivalent task tuples that differ only in their
+// nulls. The *core* is the smallest universal solution (Fagin,
+// Kolaitis, Popa, "Data exchange: getting to the core", TODS 2005);
+// for st tgds it can be computed by block retraction: a block whose
+// tuples all map homomorphically into the rest of the instance is
+// redundant and can be removed.
+
+import "schemamap/internal/data"
+
+// Core returns the core of the chase result as a new instance: it
+// repeatedly removes blocks that embed homomorphically into the
+// remainder of the instance (constants preserved, the block's own
+// nulls excluded from the target of the embedding). Tuples without
+// nulls are never removed — they are forced by the mapping.
+//
+// The input result is not modified.
+func (r *Result) Core() *data.Instance {
+	live := make([]bool, len(r.Blocks))
+	for bi := range r.Blocks {
+		live[bi] = true
+	}
+
+	current := func() *data.Instance {
+		out := data.NewInstance()
+		for bi, b := range r.Blocks {
+			if !live[bi] {
+				continue
+			}
+			for _, t := range b.Tuples {
+				out.Add(t)
+			}
+		}
+		return out
+	}
+
+	// Retraction target for block bi: every live tuple that does not
+	// contain any null minted by bi.
+	targetFor := func(bi int) *data.Instance {
+		blockNulls := make(map[string]bool)
+		for _, t := range r.Blocks[bi].Tuples {
+			for _, lbl := range t.Nulls() {
+				blockNulls[lbl] = true
+			}
+		}
+		out := data.NewInstance()
+		for bj, b := range r.Blocks {
+			if !live[bj] {
+				continue
+			}
+			for _, t := range b.Tuples {
+				hasOwn := false
+				for _, lbl := range t.Nulls() {
+					if blockNulls[lbl] {
+						hasOwn = true
+						break
+					}
+				}
+				if !hasOwn {
+					out.Add(t)
+				}
+			}
+		}
+		return out
+	}
+
+	// Fixpoint: retract while some block embeds elsewhere. A block
+	// with no nulls never retracts (its tuples are forced facts and
+	// the embedding would be the identity).
+	for changed := true; changed; {
+		changed = false
+		for bi := range r.Blocks {
+			if !live[bi] {
+				continue
+			}
+			hasNull := false
+			for _, t := range r.Blocks[bi].Tuples {
+				if t.HasNull() {
+					hasNull = true
+					break
+				}
+			}
+			if !hasNull {
+				continue
+			}
+			if data.BlockEmbeds(r.Blocks[bi].Tuples, targetFor(bi)) {
+				live[bi] = false
+				changed = true
+			}
+		}
+	}
+	return current()
+}

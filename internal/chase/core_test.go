@@ -1,0 +1,94 @@
+package chase
+
+import (
+	"testing"
+
+	"schemamap/internal/data"
+	"schemamap/internal/tgd"
+)
+
+func TestCoreRetractsSubsumedBlock(t *testing.T) {
+	// θ1 produces task(p,e,N); θ3 produces task(p,e,M) & org(M,c).
+	// θ1's blocks embed into θ3's (N ↦ M), so the core drops them.
+	I := data.NewInstance()
+	I.Add(data.NewTuple("proj", "ML", "Alice", "SAP"))
+	m := tgd.Mapping{
+		tgd.MustParse("proj(p,e,c) -> task(p,e,O)"),
+		tgd.MustParse("proj(p,e,c) -> task(p,e,O) & org(O,c)"),
+	}
+	res := Chase(I, m, nil)
+	if res.Instance.Len() != 3 {
+		t.Fatalf("chase len = %d, want 3", res.Instance.Len())
+	}
+	core := res.Core()
+	if core.Len() != 2 {
+		t.Fatalf("core len = %d, want 2 (θ1's tuple retracted):\n%v", core.Len(), core)
+	}
+	if len(core.Tuples("org")) != 1 || len(core.Tuples("task")) != 1 {
+		t.Errorf("core shape wrong:\n%v", core)
+	}
+}
+
+func TestCoreKeepsIncomparableBlocks(t *testing.T) {
+	// Two firings over different constants are incomparable.
+	I := data.NewInstance()
+	I.Add(data.NewTuple("proj", "A", "x", "1"))
+	I.Add(data.NewTuple("proj", "B", "y", "2"))
+	res := ChaseOne(I, tgd.MustParse("proj(p,e,c) -> task(p,e,O)"), nil)
+	core := res.Core()
+	if core.Len() != 2 {
+		t.Errorf("core len = %d, want 2:\n%v", core.Len(), core)
+	}
+}
+
+func TestCoreKeepsFullTuples(t *testing.T) {
+	// A null block that embeds into a full block retracts; the full
+	// tuples always stay.
+	I := data.NewInstance()
+	I.Add(data.NewTuple("r", "a", "b"))
+	m := tgd.Mapping{
+		tgd.MustParse("r(x,y) -> s(x,y)"), // full: s(a,b)
+		tgd.MustParse("r(x,y) -> s(x,E)"), // null: s(a,N) ↦ s(a,b)
+	}
+	res := Chase(I, m, nil)
+	core := res.Core()
+	if core.Len() != 1 {
+		t.Fatalf("core len = %d, want 1:\n%v", core.Len(), core)
+	}
+	if !core.Has(data.NewTuple("s", "a", "b")) {
+		t.Errorf("core lost the full tuple:\n%v", core)
+	}
+}
+
+func TestCoreIsUniversal(t *testing.T) {
+	// The core must still embed the original instance (universality is
+	// preserved): every original block embeds into the core.
+	I := data.NewInstance()
+	I.Add(data.NewTuple("proj", "ML", "Alice", "SAP"))
+	I.Add(data.NewTuple("proj", "DB", "Bob", "IBM"))
+	m := tgd.Mapping{
+		tgd.MustParse("proj(p,e,c) -> task(p,e,O)"),
+		tgd.MustParse("proj(p,e,c) -> task(p,e,O) & org(O,c)"),
+		tgd.MustParse("proj(p,e,c) -> org(O,c)"),
+	}
+	res := Chase(I, m, nil)
+	core := res.Core()
+	for bi, b := range res.Blocks {
+		if !data.BlockEmbeds(b.Tuples, core) {
+			t.Errorf("block %d no longer embeds into the core", bi)
+		}
+	}
+	if core.Len() >= res.Instance.Len() {
+		t.Errorf("core (%d) not smaller than chase (%d)", core.Len(), res.Instance.Len())
+	}
+}
+
+func TestCoreIdempotentUnderNoRedundancy(t *testing.T) {
+	I := data.NewInstance()
+	I.Add(data.NewTuple("r", "a"))
+	res := ChaseOne(I, tgd.MustParse("r(x) -> s(x,E)"), nil)
+	core := res.Core()
+	if !core.Equal(res.Instance) {
+		t.Error("core changed a minimal instance")
+	}
+}

@@ -1,0 +1,118 @@
+package chase
+
+import (
+	"testing"
+
+	"schemamap/internal/tgd"
+)
+
+func TestImpliesPaperExample(t *testing.T) {
+	th1 := tgd.MustParse("proj(p,e,c) -> task(p,e,O)")
+	th3 := tgd.MustParse("proj(p,e,c) -> task(p,e,O) & org(O,c)")
+	if !Implies(th3, th1) {
+		t.Error("θ3 should imply θ1 (its head is a superset pattern)")
+	}
+	if Implies(th1, th3) {
+		t.Error("θ1 must not imply θ3")
+	}
+}
+
+func TestImpliesSelf(t *testing.T) {
+	for _, s := range []string{
+		"r(x,y) -> s(x,y)",
+		"r(x,y) -> s(x,E) & u(E,y)",
+		"a(x) & b(x) -> c(x)",
+	} {
+		d := tgd.MustParse(s)
+		if !Implies(d, d) {
+			t.Errorf("%s should imply itself", s)
+		}
+	}
+}
+
+func TestImpliesVariableRenaming(t *testing.T) {
+	a := tgd.MustParse("r(x,y) -> s(x,y)")
+	b := tgd.MustParse("r(p,q) -> s(p,q)")
+	if !Implies(a, b) || !Implies(b, a) {
+		t.Error("renamed variants must be equivalent")
+	}
+}
+
+func TestImpliesProjectionDirection(t *testing.T) {
+	full := tgd.MustParse("r(x,y) -> s(x,y)")
+	proj := tgd.MustParse("r(x,y) -> s(x,E)")
+	if !Implies(full, proj) {
+		t.Error("full copy implies the projected variant")
+	}
+	if Implies(proj, full) {
+		t.Error("projection must not imply the full copy")
+	}
+}
+
+func TestImpliesStrongerBody(t *testing.T) {
+	// A tgd with a weaker body (fires more often) implies one with a
+	// stronger body, not vice versa.
+	weak := tgd.MustParse("r(x,y) -> s(x)")
+	strong := tgd.MustParse("r(x,x) -> s(x)")
+	if !Implies(weak, strong) {
+		t.Error("weak-body tgd should imply the strong-body one")
+	}
+	if Implies(strong, weak) {
+		t.Error("strong-body tgd must not imply the weak-body one")
+	}
+}
+
+func TestImpliesConstants(t *testing.T) {
+	anyVal := tgd.MustParse("r(x) -> s(x)")
+	onlyA := tgd.MustParse("r('a') -> s('a')")
+	if !Implies(anyVal, onlyA) {
+		t.Error("unconditional copy implies the constant-restricted one")
+	}
+	if Implies(onlyA, anyVal) {
+		t.Error("constant-restricted tgd must not imply the general one")
+	}
+}
+
+func TestImpliesUnrelated(t *testing.T) {
+	a := tgd.MustParse("r(x) -> s(x)")
+	b := tgd.MustParse("u(x) -> v(x)")
+	if Implies(a, b) || Implies(b, a) {
+		t.Error("unrelated tgds must not imply each other")
+	}
+}
+
+func TestMinimizeMapping(t *testing.T) {
+	th1 := tgd.MustParse("proj(p,e,c) -> task(p,e,O)")
+	th3 := tgd.MustParse("proj(p,e,c) -> task(p,e,O) & org(O,c)")
+	other := tgd.MustParse("u(x) -> v(x)")
+	m := tgd.Mapping{th1, th3, other}
+	min := MinimizeMapping(m)
+	if len(min) != 2 {
+		t.Fatalf("minimized to %d tgds, want 2: %v", len(min), min.Strings())
+	}
+	if !min.Contains(th3) || !min.Contains(other) {
+		t.Errorf("wrong survivors: %v", min.Strings())
+	}
+}
+
+func TestMinimizeMappingEquivalentDuplicates(t *testing.T) {
+	a := tgd.MustParse("r(x,y) -> s(x,y)")
+	b := tgd.MustParse("r(p,q) -> s(p,q)") // equivalent
+	min := MinimizeMapping(tgd.Mapping{a, b})
+	if len(min) != 1 {
+		t.Fatalf("minimized to %d, want 1", len(min))
+	}
+	if min[0] != a {
+		t.Error("should keep the first of mutually equivalent tgds")
+	}
+}
+
+func TestMinimizeMappingKeepsIncomparable(t *testing.T) {
+	m := tgd.Mapping{
+		tgd.MustParse("r(x,y) -> s(x,y)"),
+		tgd.MustParse("r(x,y) -> u(y,x)"),
+	}
+	if got := MinimizeMapping(m); len(got) != 2 {
+		t.Errorf("lost an incomparable tgd: %v", got.Strings())
+	}
+}

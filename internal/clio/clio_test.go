@@ -1,0 +1,171 @@
+package clio
+
+import (
+	"testing"
+
+	"schemamap/internal/schema"
+	"schemamap/internal/tgd"
+)
+
+// paperSchemas builds the running example's schemas: proj(name, emp,
+// company) on the source; task(name, emp, oid), org(oid, company) on
+// the target, with an FK task.oid → org.oid.
+func paperSchemas() (*schema.Schema, *schema.Schema, schema.Correspondences) {
+	src := schema.New("src")
+	src.MustAddRelation(schema.NewRelation("proj", "name", "emp", "company"))
+	tgt := schema.New("tgt")
+	tgt.MustAddRelation(schema.NewRelation("task", "name", "emp", "oid"))
+	tgt.MustAddRelation(schema.NewRelation("org", "oid", "company"))
+	tgt.MustAddFK(schema.ForeignKey{FromRel: "task", FromCols: []int{2}, ToRel: "org", ToCols: []int{0}})
+	corrs := schema.Correspondences{
+		{SourceRel: "proj", SourcePos: 0, TargetRel: "task", TargetPos: 0},
+		{SourceRel: "proj", SourcePos: 1, TargetRel: "task", TargetPos: 1},
+		{SourceRel: "proj", SourcePos: 2, TargetRel: "org", TargetPos: 1},
+	}
+	return src, tgt, corrs
+}
+
+func TestAssociationsSingleAndJoined(t *testing.T) {
+	_, tgt, _ := paperSchemas()
+	assocs := Associations(tgt, 3)
+	keys := make(map[string]bool)
+	for _, a := range assocs {
+		keys[a.key()] = true
+	}
+	if len(assocs) != 3 {
+		t.Fatalf("got %d associations, want 3 ({task}, {org}, {task,org}): %v", len(assocs), keys)
+	}
+	if !keys["[org task]"] {
+		t.Errorf("missing joined association: %v", keys)
+	}
+}
+
+func TestGenerateRecoversPaperCandidates(t *testing.T) {
+	src, tgt, corrs := paperSchemas()
+	cands, err := Generate(src, tgt, corrs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th1 := tgd.MustParse("proj(p,e,c) -> task(p,e,O)")
+	th3 := tgd.MustParse("proj(p,e,c) -> task(p,e,O) & org(O,c)")
+	if !cands.Contains(th1) {
+		t.Errorf("candidates missing θ1; got:\n%v", cands.Strings())
+	}
+	if !cands.Contains(th3) {
+		t.Errorf("candidates missing θ3; got:\n%v", cands.Strings())
+	}
+	// org alone is also corresponded: proj(p,e,c) -> org(O,c).
+	thOrg := tgd.MustParse("proj(p,e,c) -> org(O,c)")
+	if !cands.Contains(thOrg) {
+		t.Errorf("candidates missing org-only tgd; got:\n%v", cands.Strings())
+	}
+	// All candidates validate against the schemas.
+	if err := cands.Validate(src, tgt); err != nil {
+		t.Errorf("invalid candidate: %v", err)
+	}
+	// No duplicates.
+	if len(cands) != len(cands.Dedup()) {
+		t.Error("candidate set contains duplicates")
+	}
+}
+
+func TestGenerateSkipsUnconstrainedTargets(t *testing.T) {
+	// A target relation with no correspondence and no join to a
+	// corresponded one must not appear alone.
+	src := schema.New("src")
+	src.MustAddRelation(schema.NewRelation("r", "a"))
+	tgt := schema.New("tgt")
+	tgt.MustAddRelation(schema.NewRelation("u", "x"))
+	tgt.MustAddRelation(schema.NewRelation("v", "y"))
+	corrs := schema.Correspondences{{SourceRel: "r", SourcePos: 0, TargetRel: "u", TargetPos: 0}}
+	cands, err := Generate(src, tgt, corrs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range cands {
+		for _, a := range d.Head {
+			if a.Rel == "v" {
+				t.Errorf("unconstrained target v emitted: %v", d)
+			}
+		}
+	}
+	if len(cands) != 1 {
+		t.Errorf("got %d candidates, want exactly r→u: %v", len(cands), cands.Strings())
+	}
+}
+
+func TestGenerateEmptyCorrs(t *testing.T) {
+	src, tgt, _ := paperSchemas()
+	cands, err := Generate(src, tgt, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Errorf("no correspondences should yield no candidates, got %v", cands.Strings())
+	}
+}
+
+func TestGenerateValidatesCorrs(t *testing.T) {
+	src, tgt, _ := paperSchemas()
+	bad := schema.Correspondences{{SourceRel: "nope", SourcePos: 0, TargetRel: "task", TargetPos: 0}}
+	if _, err := Generate(src, tgt, bad, DefaultOptions()); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestGenerateMaxCandidatesCap(t *testing.T) {
+	src, tgt, corrs := paperSchemas()
+	opts := DefaultOptions()
+	opts.MaxCandidates = 1
+	cands, err := Generate(src, tgt, corrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 {
+		t.Errorf("cap ignored: got %d candidates", len(cands))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	src, tgt, corrs := paperSchemas()
+	a, err := Generate(src, tgt, corrs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(src, tgt, corrs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic candidate count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Canonical() != b[i].Canonical() {
+			t.Errorf("candidate %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNtoMAssociation(t *testing.T) {
+	// VNM-shaped target: t1(k,a), t2(k,b), m(k1,k2) with FKs from m.
+	src := schema.New("src")
+	src.MustAddRelation(schema.NewRelation("r", "a", "b"))
+	tgt := schema.New("tgt")
+	tgt.MustAddRelation(schema.NewRelation("t1", "k", "a"))
+	tgt.MustAddRelation(schema.NewRelation("t2", "k", "b"))
+	tgt.MustAddRelation(schema.NewRelation("m", "k1", "k2"))
+	tgt.MustAddFK(schema.ForeignKey{FromRel: "m", FromCols: []int{0}, ToRel: "t1", ToCols: []int{0}})
+	tgt.MustAddFK(schema.ForeignKey{FromRel: "m", FromCols: []int{1}, ToRel: "t2", ToCols: []int{0}})
+	corrs := schema.Correspondences{
+		{SourceRel: "r", SourcePos: 0, TargetRel: "t1", TargetPos: 1},
+		{SourceRel: "r", SourcePos: 1, TargetRel: "t2", TargetPos: 1},
+	}
+	cands, err := Generate(src, tgt, corrs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tgd.MustParse("r(x,y) -> t1(K1,x) & t2(K2,y) & m(K1,K2)")
+	if !cands.Contains(want) {
+		t.Errorf("missing N-to-M candidate %v; got:\n%v", want, cands.Strings())
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"schemamap/internal/psl"
+)
+
+// CollectiveSolver is the paper's approach: encode mapping selection
+// as MAP inference in a hinge-loss Markov random field (a PSL
+// program), solve the convex relaxation with ADMM, then round the
+// continuous selection and repair it with local flips against the
+// true Eq. (9) objective.
+//
+// The ground HL-MRF has one variable In(θ) per candidate and one
+// variable Explained(t) per (non-certainly-unexplained) J tuple, with:
+//
+//   - potential w₁·max(0, 1 − Explained(t)) for every t ∈ J
+//     (from the PSL rule  w₁ : InJ(t) → Explained(t));
+//   - hard arithmetic constraint
+//     Explained(t) ≤ Σ_θ covers(θ,t)·In(θ)
+//     (PSL summation rule linking explanations to selections);
+//   - prior (w₂·errors(θ) + w₃·size(θ)) : !In(θ)  for every θ.
+//
+// At the optimum Explained(t) = min(1, Σ covers·In), so the MAP state
+// minimises the standard LP relaxation of Eq. (9) in which the
+// per-tuple max over selected candidates is relaxed to a capped sum.
+type CollectiveSolver struct {
+	// ADMM are the inference options (zero value → defaults).
+	ADMM psl.ADMMOptions
+	// NoRepair disables the greedy local-flip repair after rounding
+	// (used by ablations; repair is on by default).
+	NoRepair bool
+	// RoundThreshold, when positive, rounds at the fixed threshold
+	// instead of sweeping all relaxation values (used by ablations).
+	RoundThreshold float64
+	// UseRuleGrounding builds the ground MRF by grounding the
+	// paper-style PSL program (BuildPSLProgram) instead of
+	// constructing it directly. Both paths yield the same MRF; this
+	// one exercises the full rule-DSL pipeline.
+	UseRuleGrounding bool
+}
+
+// Name implements Solver.
+func (s CollectiveSolver) Name() string { return "collective" }
+
+// Solve implements Solver.
+func (s CollectiveSolver) Solve(p *Problem) (*Selection, error) {
+	p.Prepare()
+	start := time.Now()
+	n := p.NumCandidates()
+
+	var mrf *psl.MRF
+	if s.UseRuleGrounding {
+		var err error
+		mrf, err = GroundSelectionMRF(p)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		mrf = s.buildDirectMRF(p)
+	}
+	inVar := make([]int, n)
+	for i := 0; i < n; i++ {
+		inVar[i] = mrf.AtomVar("In", fmt.Sprintf("m%d", i))
+	}
+
+	opts := s.ADMM
+	if opts.MaxIterations == 0 {
+		opts = psl.DefaultADMMOptions()
+		opts.MaxIterations = 3000
+	}
+	sol, err := psl.SolveMAP(mrf, opts)
+	if err != nil {
+		// Infeasibility at loose tolerance is survivable: rounding
+		// only needs the relative order of the In values.
+		if sol == nil {
+			return nil, err
+		}
+	}
+	relax := make([]float64, n)
+	for i := 0; i < n; i++ {
+		relax[i] = sol.X[inVar[i]]
+	}
+
+	sel := s.round(p, relax)
+	if !s.NoRepair {
+		sel = repair(p, sel)
+	}
+
+	return &Selection{
+		Chosen:     sel,
+		Objective:  p.Objective(sel),
+		Solver:     s.Name(),
+		Runtime:    time.Since(start),
+		Iterations: sol.Iterations,
+		Relaxation: relax,
+	}, nil
+}
+
+// buildDirectMRF constructs the ground HL-MRF without going through
+// the rule grounder; see the type comment for the encoding.
+func (s CollectiveSolver) buildDirectMRF(p *Problem) *psl.MRF {
+	n := p.NumCandidates()
+	mrf := psl.NewMRF()
+	inVar := make([]int, n)
+	for i := 0; i < n; i++ {
+		inVar[i] = mrf.AtomVar("In", fmt.Sprintf("m%d", i))
+	}
+	// Per-tuple explanation variables and their linking constraints.
+	// J tuples covered by no candidate contribute a constant w₁ and
+	// are omitted (Section III-C preprocessing).
+	type supporter struct {
+		cand int
+		cov  float64
+	}
+	supporters := make(map[int][]supporter)
+	for i := range p.analyses {
+		for j, c := range p.analyses[i].Covers {
+			supporters[j] = append(supporters[j], supporter{i, c})
+		}
+	}
+	for j, sup := range supporters {
+		ev := mrf.AtomVar("Explained", fmt.Sprintf("t%d", j))
+		// w₁ · max(0, 1 − Explained(t))
+		mrf.AddPotential(psl.Potential{
+			Weight: p.Weights.Explain,
+			Terms:  []psl.LinTerm{{Var: ev, Coef: -1}},
+			Const:  1,
+		})
+		// Explained(t) − Σ covers·In(θ) ≤ 0
+		terms := []psl.LinTerm{{Var: ev, Coef: 1}}
+		for _, su := range sup {
+			terms = append(terms, psl.LinTerm{Var: inVar[su.cand], Coef: -su.cov})
+		}
+		// AddConstraint only fails for constant constraints; this one
+		// always has at least the Explained term.
+		_ = mrf.AddConstraint(psl.Constraint{Terms: terms, Cmp: psl.LE})
+	}
+	// Selection priors: (w₂·errors + w₃·size) · In(θ).
+	for i := range p.analyses {
+		a := &p.analyses[i]
+		w := p.Weights.Error*a.Errors + p.Weights.Size*float64(a.Size)
+		if w <= 0 {
+			continue
+		}
+		mrf.AddPotential(psl.Potential{
+			Weight: w,
+			Terms:  []psl.LinTerm{{Var: inVar[i], Coef: 1}},
+		})
+	}
+	return mrf
+}
+
+// round converts the continuous relaxation to a boolean selection. By
+// default it sweeps every distinct relaxation value as a threshold and
+// keeps the best true objective; with RoundThreshold set it uses that
+// single cut.
+func (s CollectiveSolver) round(p *Problem, relax []float64) []bool {
+	n := len(relax)
+	if s.RoundThreshold > 0 {
+		sel := make([]bool, n)
+		for i, v := range relax {
+			sel[i] = v >= s.RoundThreshold
+		}
+		return sel
+	}
+	// Distinct thresholds, descending; the empty selection is the
+	// implicit starting point.
+	vals := append([]float64(nil), relax...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	best := make([]bool, n)
+	bestVal := p.Objective(best).Total()
+	sel := make([]bool, n)
+	prev := 2.0
+	for _, v := range vals {
+		if v >= prev-1e-12 {
+			continue
+		}
+		prev = v
+		for i, r := range relax {
+			sel[i] = r >= v-1e-12
+		}
+		if got := p.Objective(sel).Total(); got < bestVal-1e-12 {
+			bestVal = got
+			copy(best, sel)
+		}
+	}
+	// Conditional pass: walk candidates in descending relaxation order
+	// and keep each one only if it improves the true objective given
+	// what is already selected. This uses only the relaxation's
+	// ordering, and repairs the capped-sum optimism of the LP (several
+	// half-selected candidates covering the same tuples).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return relax[order[a]] > relax[order[b]] })
+	ev := NewEvaluator(p, make([]bool, n))
+	for _, i := range order {
+		if relax[i] <= 1e-6 {
+			break
+		}
+		if ev.FlipDelta(i) < -1e-12 {
+			ev.Flip(i)
+		}
+	}
+	if ev.Total() < bestVal-1e-12 {
+		copy(best, ev.Selection())
+	}
+	return best
+}
+
+// repair runs local search on the true objective until a fixed point
+// (bounded number of sweeps): single flips, plus drop-one/add-one
+// swaps, which escape the characteristic local optimum where a partial
+// candidate (a projection of a gold join) blocks the full one.
+func repair(p *Problem, sel []bool) []bool {
+	n := len(sel)
+	ev := NewEvaluator(p, sel)
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+		for i := 0; i < n; i++ {
+			if ev.FlipDelta(i) < -1e-12 {
+				ev.Flip(i)
+				improved = true
+			}
+		}
+		if n <= 256 {
+			for i := 0; i < n; i++ {
+				if !ev.Selected(i) {
+					continue
+				}
+				dropDelta := ev.Flip(i) // tentatively drop i
+				swapped := false
+				for j := 0; j < n; j++ {
+					if ev.Selected(j) || j == i {
+						continue
+					}
+					if dropDelta+ev.FlipDelta(j) < -1e-12 {
+						ev.Flip(j)
+						improved = true
+						swapped = true
+						break
+					}
+				}
+				if !swapped {
+					ev.Flip(i) // restore i
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return ev.Selection()
+}

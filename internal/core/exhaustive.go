@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// ExhaustiveSolver finds the exact optimum of Eq. (9) by depth-first
+// branch and bound over the 2^|C| selections. It is the ground truth
+// for small candidate sets (the problem is NP-hard; see the SET COVER
+// reduction tests) and the reference for the E6 approximation-quality
+// experiment.
+type ExhaustiveSolver struct {
+	// MaxCandidates guards against accidental exponential blowups;
+	// Solve returns an error above it. Default 26.
+	MaxCandidates int
+}
+
+// Name implements Solver.
+func (s ExhaustiveSolver) Name() string { return "exhaustive" }
+
+// Solve implements Solver.
+func (s ExhaustiveSolver) Solve(p *Problem) (*Selection, error) {
+	limit := s.MaxCandidates
+	if limit == 0 {
+		limit = 26
+	}
+	if p.NumCandidates() > limit {
+		return nil, fmt.Errorf("core: exhaustive solver limited to %d candidates, got %d", limit, p.NumCandidates())
+	}
+	p.Prepare()
+	start := time.Now()
+
+	n := p.NumCandidates()
+	nj := p.jidx.Len()
+
+	// Per-candidate linear cost (errors + size) and sparse coverage.
+	// Candidates that cover nothing can only add cost; fixing them to
+	// "excluded" up front is the Section III-C preprocessing and
+	// shrinks the search space considerably under heavy metadata
+	// noise.
+	cost := make([]float64, n)
+	useless := make([]bool, n)
+	for i := range p.analyses {
+		a := &p.analyses[i]
+		cost[i] = p.Weights.Error*a.Errors + p.Weights.Size*float64(a.Size)
+		useless[i] = len(a.Covers) == 0
+	}
+
+	// bestCovRemaining[i][j]: the max coverage of J tuple j achievable
+	// using candidates i..n-1 — used for the lower bound.
+	bestCovSuffix := make([][]float64, n+1)
+	bestCovSuffix[n] = make([]float64, nj)
+	for i := n - 1; i >= 0; i-- {
+		row := append([]float64(nil), bestCovSuffix[i+1]...)
+		for j, c := range p.analyses[i].Covers {
+			if c > row[j] {
+				row[j] = c
+			}
+		}
+		bestCovSuffix[i] = row
+	}
+
+	sel := make([]bool, n)
+	best := append([]bool(nil), sel...)
+	bestVal := p.Objective(sel).Total()
+	maxCov := make([]float64, nj)
+	nodes := 0
+
+	var rec func(i int, linear float64)
+	rec = func(i int, linear float64) {
+		nodes++
+		// Lower bound: linear costs committed so far plus the best
+		// possible explanation using all remaining candidates for free.
+		lb := linear
+		for j := 0; j < nj; j++ {
+			c := maxCov[j]
+			if r := bestCovSuffix[i][j]; r > c {
+				c = r
+			}
+			lb += p.Weights.Explain * (1 - c)
+		}
+		if lb >= bestVal {
+			return
+		}
+		if i == n {
+			total := linear
+			for j := 0; j < nj; j++ {
+				total += p.Weights.Explain * (1 - maxCov[j])
+			}
+			if total < bestVal {
+				bestVal = total
+				copy(best, sel)
+			}
+			return
+		}
+		if useless[i] {
+			rec(i+1, linear)
+			return
+		}
+		// Branch: include candidate i first (tends to tighten bounds
+		// when coverage is valuable), then exclude.
+		a := &p.analyses[i]
+		type undo struct {
+			j   int
+			old float64
+		}
+		var undos []undo
+		for j, c := range a.Covers {
+			if c > maxCov[j] {
+				undos = append(undos, undo{j, maxCov[j]})
+				maxCov[j] = c
+			}
+		}
+		sel[i] = true
+		rec(i+1, linear+cost[i])
+		sel[i] = false
+		for _, u := range undos {
+			maxCov[u.j] = u.old
+		}
+		rec(i+1, linear)
+	}
+	rec(0, 0)
+
+	return &Selection{
+		Chosen:     best,
+		Objective:  p.Objective(best),
+		Solver:     s.Name(),
+		Runtime:    time.Since(start),
+		Iterations: nodes,
+	}, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import "time"
+
+// GreedySolver performs forward selection on the true objective:
+// repeatedly add the candidate with the largest improvement of F,
+// then run removal passes, until a fixed point. It is a strong
+// combinatorial baseline, but — unlike the collective solver — each
+// step is myopic.
+type GreedySolver struct {
+	// MaxPasses bounds alternating add/remove sweeps (default 8).
+	MaxPasses int
+}
+
+// Name implements Solver.
+func (s GreedySolver) Name() string { return "greedy" }
+
+// Solve implements Solver.
+func (s GreedySolver) Solve(p *Problem) (*Selection, error) {
+	p.Prepare()
+	start := time.Now()
+	passes := s.MaxPasses
+	if passes <= 0 {
+		passes = 8
+	}
+	n := p.NumCandidates()
+	ev := NewEvaluator(p, make([]bool, n))
+	steps := 0
+
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		// Forward additions: pick the best single addition until none
+		// improves.
+		for {
+			bestI, bestDelta := -1, -1e-12
+			for i := 0; i < n; i++ {
+				if ev.Selected(i) {
+					continue
+				}
+				steps++
+				if d := ev.FlipDelta(i); d < bestDelta {
+					bestI, bestDelta = i, d
+				}
+			}
+			if bestI < 0 {
+				break
+			}
+			ev.Flip(bestI)
+			improved = true
+		}
+		// Removal pass.
+		for i := 0; i < n; i++ {
+			if !ev.Selected(i) {
+				continue
+			}
+			steps++
+			if ev.FlipDelta(i) < -1e-12 {
+				ev.Flip(i)
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	sel := ev.Selection()
+	return &Selection{
+		Chosen:     sel,
+		Objective:  p.Objective(sel),
+		Solver:     s.Name(),
+		Runtime:    time.Since(start),
+		Iterations: steps,
+	}, nil
+}
+
+// IndependentSolver decides each candidate in isolation: include θ iff
+// selecting it alone improves on the empty mapping, i.e. iff its solo
+// explanation gain w₁·Σ_t covers(θ,t) exceeds its solo cost
+// w₂·errors(θ) + w₃·size(θ). This ignores all interactions between
+// candidates (overlapping coverage, shared errors) and is the
+// non-collective baseline the paper argues against.
+type IndependentSolver struct{}
+
+// Name implements Solver.
+func (s IndependentSolver) Name() string { return "independent" }
+
+// Solve implements Solver.
+func (s IndependentSolver) Solve(p *Problem) (*Selection, error) {
+	p.Prepare()
+	start := time.Now()
+	n := p.NumCandidates()
+	sel := make([]bool, n)
+	for i := 0; i < n; i++ {
+		a := &p.analyses[i]
+		gain := p.Weights.Explain * a.TotalCoverage()
+		cost := p.Weights.Error*a.Errors + p.Weights.Size*float64(a.Size)
+		if gain > cost {
+			sel[i] = true
+		}
+	}
+	return &Selection{
+		Chosen:     sel,
+		Objective:  p.Objective(sel),
+		Solver:     s.Name(),
+		Runtime:    time.Since(start),
+		Iterations: n,
+	}, nil
+}

@@ -1,0 +1,172 @@
+package core
+
+// Incremental objective evaluation. The solvers' inner loops ask
+// "what would F be if candidate i were flipped?" thousands of times;
+// evaluating F from scratch costs O(|M|·nnz + |J|) each time. The
+// Evaluator maintains the per-tuple coverage maxima and answers flip
+// deltas in O(nnz(i)), falling back to a per-tuple rescan only when
+// removing the candidate that attains a tuple's maximum.
+
+// Evaluator tracks F(sel) under single flips.
+type Evaluator struct {
+	p *Problem
+	// sel is the current selection.
+	sel []bool
+	// maxCov[j] is the maximum coverage of J tuple j over selected
+	// candidates; cnt[j] counts selected candidates attaining it
+	// (within eps), so removals know when a rescan is needed.
+	maxCov []float64
+	cnt    []int
+	// linear is Σ selected (w₂·errors + w₃·size).
+	linear float64
+	// unexplained is Σ_j w₁·(1 − maxCov[j]).
+	unexplained float64
+	// cost[i] caches each candidate's linear cost.
+	cost []float64
+}
+
+const evalEps = 1e-12
+
+// NewEvaluator builds an evaluator for the given starting selection
+// (copied).
+func NewEvaluator(p *Problem, sel []bool) *Evaluator {
+	p.Prepare()
+	n := p.NumCandidates()
+	e := &Evaluator{
+		p:      p,
+		sel:    make([]bool, n),
+		maxCov: make([]float64, p.jidx.Len()),
+		cnt:    make([]int, p.jidx.Len()),
+		cost:   make([]float64, n),
+	}
+	for i := range p.analyses {
+		a := &p.analyses[i]
+		e.cost[i] = p.Weights.Error*a.Errors + p.Weights.Size*float64(a.Size)
+	}
+	e.unexplained = p.Weights.Explain * float64(len(e.maxCov))
+	for i, on := range sel {
+		if on {
+			e.Flip(i)
+		}
+	}
+	return e
+}
+
+// Total returns F at the current selection.
+func (e *Evaluator) Total() float64 { return e.unexplained + e.linear }
+
+// Selection returns a copy of the current selection.
+func (e *Evaluator) Selection() []bool { return append([]bool(nil), e.sel...) }
+
+// Selected reports whether candidate i is currently selected.
+func (e *Evaluator) Selected(i int) bool { return e.sel[i] }
+
+// FlipDelta returns F(sel ⊕ i) − F(sel) without changing state.
+func (e *Evaluator) FlipDelta(i int) float64 {
+	a := &e.p.analyses[i]
+	w1 := e.p.Weights.Explain
+	if !e.sel[i] {
+		d := e.cost[i]
+		for j, c := range a.Covers {
+			if c > e.maxCov[j]+evalEps {
+				d -= w1 * (c - e.maxCov[j])
+			}
+		}
+		return d
+	}
+	d := -e.cost[i]
+	for j, c := range a.Covers {
+		if c < e.maxCov[j]-evalEps {
+			continue // i does not attain j's max
+		}
+		if e.cnt[j] > 1 {
+			continue // another selected candidate also attains it
+		}
+		// i is the sole maximiser: removing it drops j's coverage to
+		// the second best, found by rescan.
+		second := e.rescanMax(j, i)
+		d += w1 * (e.maxCov[j] - second)
+	}
+	return d
+}
+
+// Flip toggles candidate i, updating all maintained state, and
+// returns the applied delta.
+func (e *Evaluator) Flip(i int) float64 {
+	a := &e.p.analyses[i]
+	w1 := e.p.Weights.Explain
+	var delta float64
+	if !e.sel[i] {
+		delta = e.cost[i]
+		e.linear += e.cost[i]
+		for j, c := range a.Covers {
+			switch {
+			case c > e.maxCov[j]+evalEps:
+				delta -= w1 * (c - e.maxCov[j])
+				e.unexplained -= w1 * (c - e.maxCov[j])
+				e.maxCov[j] = c
+				e.cnt[j] = 1
+			case c > e.maxCov[j]-evalEps && e.maxCov[j] > evalEps:
+				e.cnt[j]++
+			}
+		}
+		e.sel[i] = true
+		return delta
+	}
+	delta = -e.cost[i]
+	e.linear -= e.cost[i]
+	e.sel[i] = false
+	for j, c := range a.Covers {
+		if c < e.maxCov[j]-evalEps {
+			continue
+		}
+		if e.cnt[j] > 1 {
+			e.cnt[j]--
+			continue
+		}
+		second, scnt := e.rescanMaxCount(j)
+		drop := e.maxCov[j] - second
+		delta += w1 * drop
+		e.unexplained += w1 * drop
+		e.maxCov[j] = second
+		e.cnt[j] = scnt
+	}
+	return delta
+}
+
+// rescanMax returns the best coverage of tuple j over selected
+// candidates excluding skip.
+func (e *Evaluator) rescanMax(j, skip int) float64 {
+	best := 0.0
+	for i, on := range e.sel {
+		if !on || i == skip {
+			continue
+		}
+		if c, ok := e.p.analyses[i].Covers[j]; ok && c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// rescanMaxCount is rescanMax plus the attaining count, after e.sel
+// has already been updated.
+func (e *Evaluator) rescanMaxCount(j int) (float64, int) {
+	best, cnt := 0.0, 0
+	for i, on := range e.sel {
+		if !on {
+			continue
+		}
+		c, ok := e.p.analyses[i].Covers[j]
+		if !ok {
+			continue
+		}
+		switch {
+		case c > best+evalEps:
+			best, cnt = c, 1
+		case c > best-evalEps && best > evalEps:
+			cnt++
+		}
+	}
+	return best, cnt
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"schemamap/internal/ibench"
+)
+
+// The evaluator must agree with the direct objective on arbitrary
+// flip sequences — deltas, totals, and state.
+func TestEvaluatorMatchesObjective(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := ibench.DefaultConfig(7, seed)
+		cfg.PiCorresp = 50
+		sc, err := ibench.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewProblem(sc.I, sc.J, sc.Candidates)
+		p.Prepare()
+		n := p.NumCandidates()
+
+		rng := rand.New(rand.NewSource(seed * 7))
+		sel := make([]bool, n)
+		ev := NewEvaluator(p, sel)
+		for step := 0; step < 200; step++ {
+			i := rng.Intn(n)
+			before := p.Objective(sel).Total()
+			// Delta prediction must match the real difference.
+			predicted := ev.FlipDelta(i)
+			sel[i] = !sel[i]
+			after := p.Objective(sel).Total()
+			if math.Abs(predicted-(after-before)) > 1e-6 {
+				t.Fatalf("seed %d step %d: FlipDelta(%d) = %v, real %v",
+					seed, step, i, predicted, after-before)
+			}
+			applied := ev.Flip(i)
+			if math.Abs(applied-predicted) > 1e-9 {
+				t.Fatalf("seed %d step %d: Flip returned %v, FlipDelta said %v",
+					seed, step, applied, predicted)
+			}
+			if math.Abs(ev.Total()-after) > 1e-6 {
+				t.Fatalf("seed %d step %d: evaluator total %v, objective %v",
+					seed, step, ev.Total(), after)
+			}
+		}
+		// Final selection state agrees.
+		got := ev.Selection()
+		for i := range sel {
+			if got[i] != sel[i] {
+				t.Fatalf("seed %d: selection state diverged at %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestEvaluatorStartsFromSelection(t *testing.T) {
+	p := appendixProblem()
+	sel := []bool{false, true}
+	ev := NewEvaluator(p, sel)
+	if !approx(ev.Total(), p.Objective(sel).Total()) {
+		t.Errorf("initial total %v, want %v", ev.Total(), p.Objective(sel).Total())
+	}
+	if !ev.Selected(1) || ev.Selected(0) {
+		t.Error("initial selection state wrong")
+	}
+	// The provided slice is copied, not aliased.
+	sel[1] = false
+	if !ev.Selected(1) {
+		t.Error("evaluator aliases caller's slice")
+	}
+}
+
+func TestEvaluatorWeighted(t *testing.T) {
+	p := appendixProblem()
+	p.Weights = Weights{Explain: 2, Error: 3, Size: 0.5}
+	ev := NewEvaluator(p, make([]bool, 2))
+	for _, i := range []int{0, 1, 0, 1, 0} {
+		ev.Flip(i)
+	}
+	want := p.Objective(ev.Selection()).Total()
+	if math.Abs(ev.Total()-want) > 1e-9 {
+		t.Errorf("weighted total %v, want %v", ev.Total(), want)
+	}
+}
+
+// Equal-coverage candidates exercise the attaining-count bookkeeping.
+func TestEvaluatorTiedCoverage(t *testing.T) {
+	cfg := ibench.DefaultConfig(2, 5)
+	sc, err := ibench.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate every candidate so ties are guaranteed.
+	cands := append(sc.Candidates, sc.Candidates...)
+	p := NewProblem(sc.I, sc.J, cands)
+	p.Prepare()
+	n := p.NumCandidates()
+	sel := make([]bool, n)
+	ev := NewEvaluator(p, sel)
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 150; step++ {
+		i := rng.Intn(n)
+		sel[i] = !sel[i]
+		ev.Flip(i)
+		want := p.Objective(sel).Total()
+		if math.Abs(ev.Total()-want) > 1e-6 {
+			t.Fatalf("step %d: total %v, want %v", step, ev.Total(), want)
+		}
+	}
+}

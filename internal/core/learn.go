@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Weight learning for the selection objective — the extension the
+// paper leaves open ("weights could be learned from data"). The
+// objective is linear in its three parts,
+//
+//	F_w(M) = w₁·unexplained(M) + w₂·errors(M) + w₃·size(M),
+//
+// so given training problems with known gold selections we can run a
+// structured perceptron: solve with the current weights, and whenever
+// the solution S disagrees with the gold G, move the weights so that
+// G scores better relative to S:
+//
+//	w ← max(ε, w + η·(φ(S) − φ(G)))
+//
+// with φ(M) the unweighted part vector. Parts where the gold is
+// cheaper than the solution gain weight; parts where the gold is more
+// expensive lose weight.
+
+// LearnExample is one training problem with its gold selection.
+type LearnExample struct {
+	Problem *Problem
+	Gold    []bool
+}
+
+// LearnSelectionOptions configure LearnSelectionWeights.
+type LearnSelectionOptions struct {
+	// Iterations of solve + update over the training set (default 20).
+	Iterations int
+	// LearnRate η (default 0.05); updates are normalised by the part
+	// magnitudes so the rate is scale-free.
+	LearnRate float64
+	// MinWeight floors the weights (default 0.05).
+	MinWeight float64
+	// Solver used for inference during learning (default Collective).
+	Solver Solver
+}
+
+// DefaultLearnSelectionOptions returns the defaults.
+func DefaultLearnSelectionOptions() LearnSelectionOptions {
+	return LearnSelectionOptions{Iterations: 20, LearnRate: 0.05, MinWeight: 0.05}
+}
+
+// parts evaluates the unweighted objective components at a selection.
+func parts(p *Problem, sel []bool) [3]float64 {
+	saved := p.Weights
+	p.Weights = Weights{Explain: 1, Error: 1, Size: 1}
+	b := p.Objective(sel)
+	p.Weights = saved
+	return [3]float64{b.Unexplained, b.Errors, b.Size}
+}
+
+// LearnSelectionWeights learns (w₁, w₂, w₃) from the examples and
+// returns them. The examples' problems are solved repeatedly; their
+// Weights fields are restored before returning.
+func LearnSelectionWeights(examples []LearnExample, opts LearnSelectionOptions) (Weights, error) {
+	if len(examples) == 0 {
+		return Weights{}, fmt.Errorf("core: no training examples")
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 20
+	}
+	if opts.LearnRate <= 0 {
+		opts.LearnRate = 0.05
+	}
+	if opts.MinWeight <= 0 {
+		opts.MinWeight = 0.05
+	}
+	solver := opts.Solver
+	if solver == nil {
+		solver = CollectiveSolver{}
+	}
+	for _, ex := range examples {
+		if len(ex.Gold) != ex.Problem.NumCandidates() {
+			return Weights{}, fmt.Errorf("core: gold selection length %d, want %d",
+				len(ex.Gold), ex.Problem.NumCandidates())
+		}
+	}
+
+	w := [3]float64{1, 1, 1}
+	saved := make([]Weights, len(examples))
+	for i, ex := range examples {
+		saved[i] = ex.Problem.Weights
+	}
+	defer func() {
+		for i, ex := range examples {
+			ex.Problem.Weights = saved[i]
+		}
+	}()
+
+	for iter := 0; iter < opts.Iterations; iter++ {
+		moved := 0.0
+		for _, ex := range examples {
+			ex.Problem.Weights = Weights{Explain: w[0], Error: w[1], Size: w[2]}
+			sel, err := solver.Solve(ex.Problem)
+			if err != nil {
+				return Weights{}, err
+			}
+			if equalSelection(sel.Chosen, ex.Gold) {
+				continue
+			}
+			phiS := parts(ex.Problem, sel.Chosen)
+			phiG := parts(ex.Problem, ex.Gold)
+			// Normalise by the largest component so the rate is
+			// scale-free across scenario sizes.
+			scale := 1.0
+			for k := 0; k < 3; k++ {
+				if d := phiS[k] - phiG[k]; d > scale {
+					scale = d
+				} else if -d > scale {
+					scale = -d
+				}
+			}
+			for k := 0; k < 3; k++ {
+				step := opts.LearnRate * (phiS[k] - phiG[k]) / scale
+				nw := w[k] + step
+				if nw < opts.MinWeight {
+					nw = opts.MinWeight
+				}
+				if d := nw - w[k]; d > 0 {
+					moved += d
+				} else {
+					moved -= d
+				}
+				w[k] = nw
+			}
+		}
+		if moved < 1e-9 {
+			break
+		}
+	}
+	return Weights{Explain: w[0], Error: w[1], Size: w[2]}, nil
+}
+
+func equalSelection(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

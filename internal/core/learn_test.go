@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"schemamap/internal/data"
+	"schemamap/internal/ibench"
+)
+
+// On the appendix base example the default weights prefer the empty
+// mapping, but the gold is {θ3}. Learning must raise w₁ (explanation)
+// until {θ3} wins.
+func TestLearnSelectionWeightsRecoverGold(t *testing.T) {
+	p := appendixProblem()
+	gold := []bool{false, true}
+
+	// Precondition: default weights select {}.
+	sel, err := CollectiveSolver{}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Count() != 0 {
+		t.Fatalf("precondition: default selection %v, want empty", sel.Indices())
+	}
+
+	w, err := LearnSelectionWeights(
+		[]LearnExample{{Problem: p, Gold: gold}},
+		DefaultLearnSelectionOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Explain <= 1 {
+		t.Errorf("w1 = %v, want raised above 1", w.Explain)
+	}
+
+	p.Weights = w
+	sel, err = CollectiveSolver{}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSelection(sel.Chosen, gold) {
+		t.Errorf("learned weights %+v select %v, want {θ3}", w, sel.Indices())
+	}
+	// The problem's weights must have been restored inside learning
+	// and set only by us afterwards; the objective remains consistent.
+	b := p.Objective(gold)
+	if b.Total() <= 0 {
+		t.Errorf("degenerate objective after learning: %+v", b)
+	}
+}
+
+// Learning from examples the solver already gets right changes
+// nothing.
+func TestLearnSelectionWeightsNoop(t *testing.T) {
+	cfg := ibench.DefaultConfig(4, 11)
+	sc, err := ibench.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProblem(sc.I, sc.J, sc.Candidates)
+	sel, err := CollectiveSolver{}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := LearnSelectionWeights(
+		[]LearnExample{{Problem: p, Gold: sel.Chosen}},
+		DefaultLearnSelectionOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(w.Explain, 1) || !approx(w.Error, 1) || !approx(w.Size, 1) {
+		t.Errorf("weights moved without disagreement: %+v", w)
+	}
+}
+
+func TestLearnSelectionWeightsValidation(t *testing.T) {
+	if _, err := LearnSelectionWeights(nil, DefaultLearnSelectionOptions()); err == nil {
+		t.Error("expected error for empty training set")
+	}
+	p := appendixProblem()
+	if _, err := LearnSelectionWeights(
+		[]LearnExample{{Problem: p, Gold: []bool{true}}},
+		DefaultLearnSelectionOptions()); err == nil {
+		t.Error("expected error for gold length mismatch")
+	}
+}
+
+// Learning restores the problems' original weights.
+func TestLearnSelectionWeightsRestores(t *testing.T) {
+	p := appendixProblem()
+	p.Weights = Weights{Explain: 3, Error: 2, Size: 1}
+	_, err := LearnSelectionWeights(
+		[]LearnExample{{Problem: p, Gold: []bool{false, true}}},
+		DefaultLearnSelectionOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Weights.Explain != 3 || p.Weights.Error != 2 || p.Weights.Size != 1 {
+		t.Errorf("problem weights not restored: %+v", p.Weights)
+	}
+	_ = data.NewInstance()
+}

@@ -1,0 +1,198 @@
+// Package core implements the paper's primary contribution: the
+// mapping-selection problem. Given a source instance I, a target data
+// example J, and a set C of candidate st tgds, select M ⊆ C minimising
+// the Eq. (9) objective
+//
+//	F(M) = w₁·Σ_{t∈J} (1 − explains(M,t))
+//	     + w₂·Σ_{θ∈M} Σ_{t′∈K_θ} creates(θ,t′)
+//	     + w₃·Σ_{θ∈M} size(θ)
+//
+// (Eq. (4) is the special case where every candidate is full, for
+// which the measures are binary.) The problem is NP-hard (appendix
+// Theorem 1, by reduction from SET COVER — see the reduction tests).
+//
+// Solvers: Exhaustive (branch-and-bound exact), Greedy (forward
+// selection with removal pass), Independent (per-candidate decisions —
+// the non-collective baseline), and Collective — the paper's approach:
+// MAP inference in a hinge-loss MRF built with internal/psl, followed
+// by rounding and local repair.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"schemamap/internal/cover"
+	"schemamap/internal/data"
+	"schemamap/internal/tgd"
+)
+
+// Weights are the objective weights (w₁, w₂, w₃); the appendix proves
+// NP-hardness for any positive integers, and the defaults are 1.
+type Weights struct {
+	Explain float64 // w₁: weight of unexplained J tuples
+	Error   float64 // w₂: weight of erroneous chase tuples
+	Size    float64 // w₃: weight of mapping size
+}
+
+// DefaultWeights returns the unweighted objective of Eq. (9).
+func DefaultWeights() Weights { return Weights{Explain: 1, Error: 1, Size: 1} }
+
+// Breakdown is an objective value split into its three parts.
+type Breakdown struct {
+	Unexplained float64 // w₁ · Σ (1 − explains)
+	Errors      float64 // w₂ · Σ creates
+	Size        float64 // w₃ · Σ size
+}
+
+// Total returns the full objective value.
+func (b Breakdown) Total() float64 { return b.Unexplained + b.Errors + b.Size }
+
+// String renders the breakdown compactly.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("F=%.4g (unexplained=%.4g errors=%.4g size=%.4g)",
+		b.Total(), b.Unexplained, b.Errors, b.Size)
+}
+
+// Problem is one mapping-selection instance.
+type Problem struct {
+	I          *data.Instance
+	J          *data.Instance
+	Candidates tgd.Mapping
+	Weights    Weights
+	// CoverOptions tune the Eq. (9) measures (corroboration ablation,
+	// homomorphism caps).
+	CoverOptions cover.Options
+
+	jidx     *cover.JIndex
+	analyses []cover.Analysis
+	prepared bool
+}
+
+// NewProblem builds a problem with default weights and cover options.
+func NewProblem(I, J *data.Instance, candidates tgd.Mapping) *Problem {
+	return &Problem{
+		I:            I,
+		J:            J,
+		Candidates:   candidates,
+		Weights:      DefaultWeights(),
+		CoverOptions: cover.DefaultOptions(),
+	}
+}
+
+// Prepare chases every candidate and computes the Eq. (9) evidence.
+// It is idempotent; solvers call it automatically.
+func (p *Problem) Prepare() {
+	if p.prepared {
+		return
+	}
+	p.jidx = cover.IndexJ(p.J)
+	p.analyses = cover.Analyze(p.I, p.jidx, p.Candidates, p.CoverOptions)
+	p.prepared = true
+}
+
+// Analyses exposes the per-candidate evidence (after Prepare).
+func (p *Problem) Analyses() []cover.Analysis {
+	p.Prepare()
+	return p.analyses
+}
+
+// JIndex exposes the target-tuple index (after Prepare).
+func (p *Problem) JIndex() *cover.JIndex {
+	p.Prepare()
+	return p.jidx
+}
+
+// NumCandidates returns |C|.
+func (p *Problem) NumCandidates() int { return len(p.Candidates) }
+
+// Objective evaluates F at the selection described by sel (sel[i]
+// true iff candidate i is selected). len(sel) must equal |C|.
+func (p *Problem) Objective(sel []bool) Breakdown {
+	p.Prepare()
+	var b Breakdown
+	// Max coverage per J tuple over the selected candidates.
+	maxCov := make([]float64, p.jidx.Len())
+	for i, on := range sel {
+		if !on {
+			continue
+		}
+		a := &p.analyses[i]
+		b.Errors += p.Weights.Error * a.Errors
+		b.Size += p.Weights.Size * float64(a.Size)
+		for j, c := range a.Covers {
+			if c > maxCov[j] {
+				maxCov[j] = c
+			}
+		}
+	}
+	for _, c := range maxCov {
+		b.Unexplained += p.Weights.Explain * (1 - c)
+	}
+	return b
+}
+
+// ObjectiveOfSet is Objective for an index list.
+func (p *Problem) ObjectiveOfSet(indices []int) Breakdown {
+	sel := make([]bool, p.NumCandidates())
+	for _, i := range indices {
+		sel[i] = true
+	}
+	return p.Objective(sel)
+}
+
+// SelectedMapping returns the tgds picked by sel.
+func (p *Problem) SelectedMapping(sel []bool) tgd.Mapping {
+	var m tgd.Mapping
+	for i, on := range sel {
+		if on {
+			m = append(m, p.Candidates[i])
+		}
+	}
+	return m
+}
+
+// Selection is a solver result.
+type Selection struct {
+	// Chosen flags the selected candidates (len = |C|).
+	Chosen []bool
+	// Objective is F at the selection.
+	Objective Breakdown
+	// Solver names the producing algorithm.
+	Solver string
+	// Runtime is wall-clock solve time (excluding Prepare).
+	Runtime time.Duration
+	// Iterations is solver-specific work (nodes, passes, ADMM iters).
+	Iterations int
+	// Relaxation, for the collective solver, holds the continuous
+	// ADMM values of the selection variables before rounding.
+	Relaxation []float64
+}
+
+// Indices returns the selected candidate indices.
+func (s *Selection) Indices() []int {
+	var out []int
+	for i, on := range s.Chosen {
+		if on {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Count returns the number of selected candidates.
+func (s *Selection) Count() int {
+	n := 0
+	for _, on := range s.Chosen {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+// Solver is a mapping-selection algorithm.
+type Solver interface {
+	Name() string
+	Solve(p *Problem) (*Selection, error)
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"schemamap/internal/psl"
+)
+
+// This file contains the paper-style PSL formulation of mapping
+// selection: a PSL *program* (rules over predicates) that the engine
+// grounds against a fact database, rather than the directly
+// constructed ground MRF of collective.go. Both paths produce the same
+// hinge-loss MRF (tested), but the program view documents the model
+// the way the paper presents it:
+//
+//	predicates:
+//	  JTuple/1     closed  — the tuples of the data example J
+//	  Covers/2     closed  — covers(θ, t), the Eq. (9) evidence
+//	  In/1         open    — θ is selected
+//	  Explained/1  open    — t is explained by the selection
+//
+//	rules:
+//	  w₁ :  JTuple(T) -> Explained(T)          (explain the data)
+//	  cᵢ :  !In('mᵢ')                          (per-candidate prior,
+//	         cᵢ = w₂·errors(θᵢ) + w₃·size(θᵢ))
+//	  arithmetic:  Explained(t) ≤ Σ_θ covers(θ,t)·In(θ)
+//	         (PSL summation rule; added as hard linear constraints)
+
+// BuildPSLProgram constructs the program and database for the
+// problem. Candidate θᵢ is named "m{i}" and J tuple j "t{j}".
+func BuildPSLProgram(p *Problem) (*psl.Program, *psl.Database, error) {
+	p.Prepare()
+	prog := psl.NewProgram()
+	if err := prog.AddPredicate("JTuple", 1, psl.Closed); err != nil {
+		return nil, nil, err
+	}
+	if err := prog.AddPredicate("Covers", 2, psl.Closed); err != nil {
+		return nil, nil, err
+	}
+	if err := prog.AddPredicate("In", 1, psl.Open); err != nil {
+		return nil, nil, err
+	}
+	if err := prog.AddPredicate("Explained", 1, psl.Open); err != nil {
+		return nil, nil, err
+	}
+
+	db := psl.NewDatabase()
+	covered := make(map[int]bool)
+	for i := range p.analyses {
+		m := fmt.Sprintf("m%d", i)
+		db.AddTarget("In", m)
+		for j, c := range p.analyses[i].Covers {
+			db.Observe("Covers", []string{m, fmt.Sprintf("t%d", j)}, c)
+			covered[j] = true
+		}
+	}
+	// Only non-certain tuples enter the program (Section III-C).
+	for j := range covered {
+		tj := fmt.Sprintf("t%d", j)
+		db.Observe("JTuple", []string{tj}, 1)
+		db.AddTarget("Explained", tj)
+	}
+
+	// Explanation reward.
+	explainRule, err := psl.ParseRule(fmt.Sprintf("%g: JTuple(T) -> Explained(T)", p.Weights.Explain))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := prog.AddRule(explainRule); err != nil {
+		return nil, nil, err
+	}
+	// Per-candidate priors.
+	for i := range p.analyses {
+		a := &p.analyses[i]
+		cost := p.Weights.Error*a.Errors + p.Weights.Size*float64(a.Size)
+		if cost <= 0 {
+			continue
+		}
+		r, err := psl.ParseRule(fmt.Sprintf("%g: !In('m%d')", cost, i))
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := prog.AddRule(r); err != nil {
+			return nil, nil, err
+		}
+	}
+	return prog, db, nil
+}
+
+// GroundSelectionMRF grounds the program and adds the arithmetic
+// linking constraints, returning the MRF ready for MAP inference.
+func GroundSelectionMRF(p *Problem) (*psl.MRF, error) {
+	prog, db, err := BuildPSLProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	mrf, err := psl.Ground(prog, db)
+	if err != nil {
+		return nil, err
+	}
+	// PSL arithmetic rule: Explained(t) ≤ Σ_θ covers(θ,t)·In(θ).
+	type supporter struct {
+		cand int
+		cov  float64
+	}
+	supporters := make(map[int][]supporter)
+	for i := range p.analyses {
+		for j, c := range p.analyses[i].Covers {
+			supporters[j] = append(supporters[j], supporter{i, c})
+		}
+	}
+	for j, sup := range supporters {
+		ev := mrf.AtomVar("Explained", fmt.Sprintf("t%d", j))
+		terms := []psl.LinTerm{{Var: ev, Coef: 1}}
+		for _, su := range sup {
+			iv := mrf.AtomVar("In", fmt.Sprintf("m%d", su.cand))
+			terms = append(terms, psl.LinTerm{Var: iv, Coef: -su.cov})
+		}
+		if err := mrf.AddConstraint(psl.Constraint{Terms: terms, Cmp: psl.LE}); err != nil {
+			return nil, err
+		}
+	}
+	return mrf, nil
+}

@@ -1,0 +1,253 @@
+// Package cover computes the per-candidate evidence measures of the
+// paper's Eq. (9) objective: covers(θ, t) — the degree to which
+// candidate θ explains target tuple t ∈ J — and creates(θ, t′) — the
+// error indicator for tuples t′ ∈ K_θ that have no homomorphic image
+// in J.
+//
+// The semantics are pinned by the appendix's worked example:
+//
+//   - A homomorphism must preserve constants, so a candidate tuple t′
+//     can only explain a J tuple agreeing on all constant positions.
+//   - A labelled-null position of t′ counts as covered only when the
+//     null is *corroborated*: it also occurs in another tuple of the
+//     same chase block whose image under the same (partial)
+//     homomorphism lies in J. An uncorroborated null carries no
+//     information about the concrete value in J.
+//   - covers(θ,t) is the maximum coverage fraction over blocks of
+//     K_θ, partial homomorphisms, and block tuples mapping onto t.
+//   - creates(θ,t′) is 1 iff t′ has no homomorphic image in J.
+//
+// With these definitions the appendix's numbers are reproduced
+// exactly (see the golden tests), and on full tgds they collapse to
+// the binary Eq. (4) measures.
+package cover
+
+import (
+	"runtime"
+	"sync"
+
+	"schemamap/internal/chase"
+	"schemamap/internal/data"
+	"schemamap/internal/tgd"
+)
+
+// Options tune the analysis.
+type Options struct {
+	// Corroboration enables the null-corroboration rule (the paper's
+	// collective signal). Disabling it is the E8 ablation: any mapped
+	// null position counts as covered.
+	Corroboration bool
+	// HomLimit caps the number of partial homomorphisms enumerated
+	// per block (0 means the package default).
+	HomLimit int
+}
+
+// DefaultOptions returns the paper-faithful settings.
+func DefaultOptions() Options {
+	return Options{Corroboration: true}
+}
+
+// JIndex assigns stable indices to the tuples of the data example J.
+type JIndex struct {
+	Tuples []data.Tuple
+	byKey  map[string]int
+}
+
+// IndexJ builds a JIndex over the instance.
+func IndexJ(J *data.Instance) *JIndex {
+	idx := &JIndex{byKey: make(map[string]int, J.Len())}
+	for _, t := range J.All() {
+		idx.byKey[t.Key()] = len(idx.Tuples)
+		idx.Tuples = append(idx.Tuples, t)
+	}
+	return idx
+}
+
+// IndexOf returns the index of the tuple, or -1.
+func (ix *JIndex) IndexOf(t data.Tuple) int {
+	if i, ok := ix.byKey[t.Key()]; ok {
+		return i
+	}
+	return -1
+}
+
+// Len returns the number of indexed tuples.
+func (ix *JIndex) Len() int { return len(ix.Tuples) }
+
+// Analysis holds the Eq. (9) evidence for one candidate tgd.
+type Analysis struct {
+	// TGDIndex is the candidate's index in the analysed mapping.
+	TGDIndex int
+	// Size is the tgd's size measure (atoms + existential variables).
+	Size int
+	// Covers maps J tuple indices to covers(θ, t) ∈ (0, 1]; absent
+	// indices have coverage 0.
+	Covers map[int]float64
+	// Errors is Σ_{t′ ∈ K_θ} creates(θ, t′): the number of distinct
+	// chase tuples with no homomorphic image in J.
+	Errors float64
+	// KTuples is |K_θ| (distinct tuples).
+	KTuples int
+	// Firings is the number of chase blocks.
+	Firings int
+}
+
+// CoversOf returns covers(θ, t) for J tuple index j.
+func (a *Analysis) CoversOf(j int) float64 { return a.Covers[j] }
+
+// TotalCoverage returns Σ_t covers(θ, t), a rough utility measure.
+func (a *Analysis) TotalCoverage() float64 {
+	s := 0.0
+	for _, v := range a.Covers {
+		s += v
+	}
+	return s
+}
+
+// Analyze computes the Analysis of every candidate against the data
+// example (I, J). jidx must index J. Candidates are analysed in
+// parallel (they are independent); the result order matches the
+// candidate order, so output is deterministic.
+func Analyze(I *data.Instance, jidx *JIndex, candidates tgd.Mapping, opts Options) []Analysis {
+	J := instanceOf(jidx)
+	out := make([]Analysis, len(candidates))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	if workers <= 1 {
+		for i, d := range candidates {
+			out[i] = analyzeOne(i, d, I, J, jidx, opts)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = analyzeOne(i, candidates[i], I, J, jidx, opts)
+			}
+		}()
+	}
+	for i := range candidates {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// AnalyzeOne computes the Analysis of a single candidate.
+func AnalyzeOne(index int, d *tgd.TGD, I, J *data.Instance, opts Options) Analysis {
+	return analyzeOne(index, d, I, J, IndexJ(J), opts)
+}
+
+func instanceOf(jidx *JIndex) *data.Instance {
+	J := data.NewInstance()
+	for _, t := range jidx.Tuples {
+		J.Add(t)
+	}
+	return J
+}
+
+func analyzeOne(index int, d *tgd.TGD, I, J *data.Instance, jidx *JIndex, opts Options) Analysis {
+	res := chase.ChaseOne(I, d, nil)
+	an := Analysis{
+		TGDIndex: index,
+		Size:     d.Size(),
+		Covers:   make(map[int]float64),
+		KTuples:  res.Instance.Len(),
+		Firings:  len(res.Blocks),
+	}
+	for bi := range res.Blocks {
+		b := &res.Blocks[bi]
+		data.EnumeratePartialHoms(b.Tuples, J, opts.HomLimit, func(m data.BlockMatch) bool {
+			for i, mapped := range m.Mapped {
+				if !mapped {
+					continue
+				}
+				deg := coverageDegree(b.Tuples, i, m, opts)
+				if deg <= 0 {
+					continue
+				}
+				j := jidx.IndexOf(m.Image[i])
+				if j >= 0 && deg > an.Covers[j] {
+					an.Covers[j] = deg
+				}
+			}
+			return true
+		})
+	}
+	for _, t := range res.Instance.All() {
+		if !data.TupleEmbeds(t, J) {
+			an.Errors++
+		}
+	}
+	return an
+}
+
+// coverageDegree computes the fraction of positions of block tuple ti
+// that are covered under match m: constant positions always count;
+// null positions count iff corroborated (or always, when the
+// corroboration ablation is off).
+func coverageDegree(block []data.Tuple, ti int, m data.BlockMatch, opts Options) float64 {
+	t := block[ti]
+	if len(t.Args) == 0 {
+		return 0
+	}
+	covered := 0
+	for _, a := range t.Args {
+		if !a.IsNull() {
+			covered++
+			continue
+		}
+		if !opts.Corroboration {
+			covered++
+			continue
+		}
+		if nullCorroborated(block, ti, m, a.Name()) {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(t.Args))
+}
+
+// nullCorroborated reports whether the null labelled lbl occurs in
+// another *mapped* tuple of the block.
+func nullCorroborated(block []data.Tuple, ti int, m data.BlockMatch, lbl string) bool {
+	for j, other := range block {
+		if j == ti || !m.Mapped[j] {
+			continue
+		}
+		for _, oa := range other.Args {
+			if oa.IsNull() && oa.Name() == lbl {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CertainUnexplained returns the indices of J tuples not covered (to
+// any positive degree) by any candidate. Their Eq. (9) contribution is
+// the constant |certain|·w₁ regardless of the selection, so solvers
+// may exclude them from the variable part of the objective
+// (cf. Section III-C of the paper).
+func CertainUnexplained(jidx *JIndex, analyses []Analysis) []int {
+	coveredBySome := make([]bool, jidx.Len())
+	for i := range analyses {
+		for j := range analyses[i].Covers {
+			coveredBySome[j] = true
+		}
+	}
+	var out []int
+	for j, c := range coveredBySome {
+		if !c {
+			out = append(out, j)
+		}
+	}
+	return out
+}

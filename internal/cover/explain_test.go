@@ -1,0 +1,89 @@
+package cover
+
+import (
+	"strings"
+	"testing"
+
+	"schemamap/internal/data"
+	"schemamap/internal/tgd"
+)
+
+func TestExplainAppendixExample(t *testing.T) {
+	I, J, th1, th3 := appendixExample()
+	cands := tgd.Mapping{th1, th3}
+	jidx := IndexJ(J)
+
+	// Selecting θ3 only.
+	rep := Explain(I, J, cands, []bool{false, true}, DefaultOptions())
+	mlTask := jidx.IndexOf(data.NewTuple("task", "ML", "Alice", "111"))
+	sapOrg := jidx.IndexOf(data.NewTuple("org", "111", "SAP"))
+
+	w, ok := rep.Explained[mlTask]
+	if !ok || w.TGDIndex != 1 || !approx(w.Degree, 1) {
+		t.Fatalf("task witness = %+v", w)
+	}
+	// The witnessing homomorphism must map the block null to 111.
+	foundNull := false
+	for _, v := range w.NullImage {
+		if v.Name() == "111" {
+			foundNull = true
+		}
+	}
+	if !foundNull {
+		t.Errorf("witness null image missing 111: %v", w.NullImage)
+	}
+	if _, ok := rep.Explained[sapOrg]; !ok {
+		t.Error("org tuple unexplained")
+	}
+	// The two Google/Search tuples stay unexplained.
+	if len(rep.Unexplained) != 2 {
+		t.Errorf("unexplained = %v, want 2", rep.Unexplained)
+	}
+	if len(rep.Partial) != 0 {
+		t.Errorf("partial = %v, want none under θ3", rep.Partial)
+	}
+	// θ3 creates two error tuples.
+	if got := len(rep.Errors[1]); got != 2 {
+		t.Errorf("errors = %d, want 2", got)
+	}
+	// The binding of the witnessing firing maps p to ML.
+	if got := w.Binding["p"]; got.Name() != "ML" {
+		t.Errorf("witness binding p = %v, want ML", got)
+	}
+}
+
+func TestExplainPartialUnderTheta1(t *testing.T) {
+	I, J, th1, _ := appendixExample()
+	rep := Explain(I, J, tgd.Mapping{th1}, []bool{true}, DefaultOptions())
+	if len(rep.Partial) != 1 {
+		t.Fatalf("partial = %v, want exactly the ML task tuple", rep.Partial)
+	}
+	w := rep.Explained[rep.Partial[0]]
+	if !approx(w.Degree, 2.0/3.0) {
+		t.Errorf("partial degree = %v, want 2/3", w.Degree)
+	}
+}
+
+func TestExplainEmptySelection(t *testing.T) {
+	I, J, th1, th3 := appendixExample()
+	rep := Explain(I, J, tgd.Mapping{th1, th3}, []bool{false, false}, DefaultOptions())
+	if len(rep.Explained) != 0 || len(rep.Unexplained) != 4 {
+		t.Errorf("empty selection: explained %d unexplained %d", len(rep.Explained), len(rep.Unexplained))
+	}
+}
+
+func TestReportSummary(t *testing.T) {
+	I, J, th1, th3 := appendixExample()
+	rep := Explain(I, J, tgd.Mapping{th1, th3}, []bool{false, true}, DefaultOptions())
+	s := rep.Summary(3)
+	for _, want := range []string{"explained 2/4", "unexplained (2)", "erroneous chase tuples (2)", "θ[1] creates"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	// Truncation with a tiny limit.
+	s = rep.Summary(1)
+	if !strings.Contains(s, "more") {
+		t.Errorf("summary with limit 1 should truncate:\n%s", s)
+	}
+}

@@ -1,0 +1,88 @@
+package data
+
+// CSV import/export for instances, so the tools can run on real data.
+// Format: one file per relation; the caller supplies the relation
+// name. The first row may be a header (detected or forced by the
+// caller). Values are constants; the token "⊥name" (or "_:name",
+// RDF-style) denotes the labelled null "name" on import and is
+// produced as "⊥name" on export.
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ReadCSV loads tuples of one relation from CSV. If header is true
+// the first row is skipped. Rows must all have the same width.
+func ReadCSV(r io.Reader, rel string, header bool) ([]Tuple, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("data: csv %s: %w", rel, err)
+	}
+	if header && len(rows) > 0 {
+		rows = rows[1:]
+	}
+	var out []Tuple
+	width := -1
+	for i, row := range rows {
+		if len(row) == 0 {
+			continue
+		}
+		if width < 0 {
+			width = len(row)
+		}
+		if len(row) != width {
+			return nil, fmt.Errorf("data: csv %s row %d has %d fields, want %d", rel, i+1, len(row), width)
+		}
+		args := make([]Value, len(row))
+		for j, cell := range row {
+			args[j] = parseCSVValue(cell)
+		}
+		out = append(out, Tuple{Rel: rel, Args: args})
+	}
+	return out, nil
+}
+
+func parseCSVValue(cell string) Value {
+	switch {
+	case strings.HasPrefix(cell, "⊥"):
+		return NullValue(strings.TrimPrefix(cell, "⊥"))
+	case strings.HasPrefix(cell, "_:"):
+		return NullValue(strings.TrimPrefix(cell, "_:"))
+	default:
+		return Const(cell)
+	}
+}
+
+// WriteCSV writes the tuples of one relation as CSV, optionally with
+// the given header row. Tuples are sorted by key for stable output.
+func WriteCSV(w io.Writer, in *Instance, rel string, header []string) error {
+	cw := csv.NewWriter(w)
+	if len(header) > 0 {
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+	}
+	tuples := append([]Tuple(nil), in.Tuples(rel)...)
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i].Key() < tuples[j].Key() })
+	for _, t := range tuples {
+		row := make([]string, len(t.Args))
+		for i, v := range t.Args {
+			if v.IsNull() {
+				row[i] = "⊥" + v.Name()
+			} else {
+				row[i] = v.Name()
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

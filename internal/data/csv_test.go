@@ -1,0 +1,80 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	src := "name,emp\nML,Alice\nBigData,Bob\n"
+	tuples, err := ReadCSV(strings.NewReader(src), "proj", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 {
+		t.Fatalf("tuples = %d", len(tuples))
+	}
+	if !tuples[0].Equal(NewTuple("proj", "ML", "Alice")) {
+		t.Errorf("tuple 0 = %v", tuples[0])
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	tuples, err := ReadCSV(strings.NewReader("a,b\nc,d\n"), "r", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 {
+		t.Fatalf("tuples = %d", len(tuples))
+	}
+}
+
+func TestReadCSVNulls(t *testing.T) {
+	tuples, err := ReadCSV(strings.NewReader("x,⊥N1\ny,_:N2\n"), "r", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tuples[0].Args[1].IsNull() || tuples[0].Args[1].Name() != "N1" {
+		t.Errorf("unicode null not parsed: %v", tuples[0])
+	}
+	if !tuples[1].Args[1].IsNull() || tuples[1].Args[1].Name() != "N2" {
+		t.Errorf("rdf null not parsed: %v", tuples[1])
+	}
+}
+
+func TestReadCSVRaggedRows(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\nc\n"), "r", false); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	in := NewInstance()
+	in.Add(NewTuple("r", "b", "2"))
+	in.Add(NewTuple("r", "a", "1"))
+	in.Add(Tuple{Rel: "r", Args: []Value{Const("c"), NullValue("N1")}})
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in, "r", []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "x,y\n") {
+		t.Errorf("missing header: %q", out)
+	}
+	// Sorted, stable output.
+	if strings.Index(out, "a,1") > strings.Index(out, "b,2") {
+		t.Errorf("not sorted: %q", out)
+	}
+
+	back, err := ReadCSV(strings.NewReader(out), "r", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewInstance()
+	rt.AddAll(back)
+	if !rt.Equal(in) {
+		t.Errorf("round trip changed instance:\n%v\nvs\n%v", rt, in)
+	}
+}

@@ -1,0 +1,223 @@
+package data
+
+// This file implements homomorphism search from a *block* of tuples
+// (tuples sharing labelled nulls, produced by one tgd firing) into an
+// instance. A homomorphism preserves constants and maps each null to
+// one value consistently across the block. Partial homomorphisms map
+// only a subset of the block's tuples; they are what the Eq. (9)
+// covers measure maximises over.
+
+// BlockMatch describes one partial homomorphism from a block into an
+// instance. Image[i] is the image of block tuple i, valid only when
+// Mapped[i] is true. NullImage records the value each mapped null was
+// sent to.
+type BlockMatch struct {
+	Mapped    []bool
+	Image     []Tuple
+	NullImage map[string]Value
+}
+
+// MappedCount returns the number of block tuples the match maps.
+func (m BlockMatch) MappedCount() int {
+	n := 0
+	for _, ok := range m.Mapped {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// homSearch carries state for the recursive enumeration.
+type homSearch struct {
+	block   []Tuple
+	target  *Instance
+	limit   int
+	emitted int
+	emit    func(BlockMatch) bool // return false to stop early
+	stopped bool
+
+	mapped []bool
+	image  []Tuple
+	nulls  map[string]Value
+}
+
+// EnumeratePartialHoms enumerates partial homomorphisms from block
+// into target, calling emit for each complete assignment (every block
+// tuple either mapped to a target tuple or skipped). Null images are
+// consistent across mapped tuples; constants are preserved. At most
+// limit assignments are emitted (limit <= 0 means a default cap).
+// emit may return false to stop the enumeration early.
+//
+// The enumeration includes non-maximal matches; callers computing a
+// maximum over matches are unaffected, since any score monotone in the
+// mapped set is maximised at a maximal match that is also enumerated.
+func EnumeratePartialHoms(block []Tuple, target *Instance, limit int, emit func(BlockMatch) bool) {
+	if limit <= 0 {
+		limit = 4096
+	}
+	// Process constant-rich tuples first so that nulls are bound early
+	// and all-null tuples (e.g. an N-to-M link relation) see a small
+	// candidate set. Results are reported in the original order.
+	order := make([]int, len(block))
+	for i := range order {
+		order[i] = i
+	}
+	constCount := func(t Tuple) int {
+		n := 0
+		for _, a := range t.Args {
+			if !a.IsNull() {
+				n++
+			}
+		}
+		return n
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && constCount(block[order[j]]) > constCount(block[order[j-1]]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	reordered := make([]Tuple, len(block))
+	for i, idx := range order {
+		reordered[i] = block[idx]
+	}
+	wrapped := emit
+	if len(block) > 1 {
+		wrapped = func(m BlockMatch) bool {
+			orig := BlockMatch{
+				Mapped:    make([]bool, len(block)),
+				Image:     make([]Tuple, len(block)),
+				NullImage: m.NullImage,
+			}
+			for i, idx := range order {
+				orig.Mapped[idx] = m.Mapped[i]
+				orig.Image[idx] = m.Image[i]
+			}
+			return emit(orig)
+		}
+	}
+	s := &homSearch{
+		block:  reordered,
+		target: target,
+		limit:  limit,
+		emit:   wrapped,
+		mapped: make([]bool, len(block)),
+		image:  make([]Tuple, len(block)),
+		nulls:  make(map[string]Value),
+	}
+	s.rec(0)
+}
+
+func (s *homSearch) rec(i int) {
+	if s.stopped || s.emitted >= s.limit {
+		return
+	}
+	if i == len(s.block) {
+		s.emitted++
+		ni := make(map[string]Value, len(s.nulls))
+		for k, v := range s.nulls {
+			ni[k] = v
+		}
+		m := BlockMatch{
+			Mapped:    append([]bool(nil), s.mapped...),
+			Image:     append([]Tuple(nil), s.image...),
+			NullImage: ni,
+		}
+		if !s.emit(m) {
+			s.stopped = true
+		}
+		return
+	}
+	t := s.block[i]
+	// Option 1: map tuple i to each consistent candidate.
+	for _, cand := range s.target.Tuples(t.Rel) {
+		if add, ok := s.consistent(t, cand); ok {
+			for _, lbl := range add {
+				s.nulls[lbl] = valueAt(t, cand, lbl)
+			}
+			s.mapped[i] = true
+			s.image[i] = cand
+			s.rec(i + 1)
+			s.mapped[i] = false
+			for _, lbl := range add {
+				delete(s.nulls, lbl)
+			}
+			if s.stopped || s.emitted >= s.limit {
+				return
+			}
+		}
+	}
+	// Option 2: skip tuple i.
+	s.rec(i + 1)
+}
+
+// consistent checks whether t can map to cand under the current null
+// assignment; it returns the labels of nulls that would be newly bound.
+func (s *homSearch) consistent(t, cand Tuple) (newNulls []string, ok bool) {
+	if len(t.Args) != len(cand.Args) {
+		return nil, false
+	}
+	// Tentative bindings for nulls bound within this tuple.
+	local := make(map[string]Value)
+	for p, a := range t.Args {
+		c := cand.Args[p]
+		if !a.IsNull() {
+			if a != c {
+				return nil, false
+			}
+			continue
+		}
+		lbl := a.Name()
+		if v, bound := s.nulls[lbl]; bound {
+			if v != c {
+				return nil, false
+			}
+			continue
+		}
+		if v, bound := local[lbl]; bound {
+			if v != c {
+				return nil, false
+			}
+			continue
+		}
+		local[lbl] = c
+	}
+	for lbl := range local {
+		newNulls = append(newNulls, lbl)
+	}
+	return newNulls, true
+}
+
+// valueAt returns the image value of the null labelled lbl as induced
+// by mapping t onto cand (first occurrence wins; consistency was
+// already checked).
+func valueAt(t, cand Tuple, lbl string) Value {
+	for p, a := range t.Args {
+		if a.IsNull() && a.Name() == lbl {
+			return cand.Args[p]
+		}
+	}
+	return Value{}
+}
+
+// BlockEmbeds reports whether a *total* homomorphism exists mapping
+// every tuple of block into target (constants preserved, nulls
+// consistent).
+func BlockEmbeds(block []Tuple, target *Instance) bool {
+	found := false
+	EnumeratePartialHoms(block, target, 0, func(m BlockMatch) bool {
+		if m.MappedCount() == len(block) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// TupleEmbeds reports whether the single tuple t has a homomorphic
+// image in target (some target tuple agreeing on all constant
+// positions, nulls free but consistent within t).
+func TupleEmbeds(t Tuple, target *Instance) bool {
+	return BlockEmbeds([]Tuple{t}, target)
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func quick() Options { return Options{Quick: true, Seeds: 1, BaseSeed: 1} }
+
+func TestEX0MatchesPaperNumbers(t *testing.T) {
+	tab, err := EX0AppendixExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{
+		{"{}", "4", "0", "0", "4"},
+		{"{θ1}", "3.333", "1", "3", "7.333"},
+		{"{θ3}", "2", "2", "4", "8"},
+		{"{θ1,θ3}", "2", "3", "7", "12"},
+	}
+	if len(tab.Rows) != len(want) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i, w := range want {
+		for j, cell := range w {
+			if tab.Rows[i][j] != cell {
+				t.Errorf("row %d col %d = %q, want %q", i, j, tab.Rows[i][j], cell)
+			}
+		}
+	}
+}
+
+func TestEX2ReductionAnswers(t *testing.T) {
+	if _, err := EX2SetCover(quick()); err != nil {
+		t.Fatal(err) // EX2 self-checks the reduction answers
+	}
+}
+
+func TestE1CollectiveAtLeastIndependent(t *testing.T) {
+	tab, err := E1PrimitiveQuality(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For every primitive, collective tuple-F1 ≥ independent tuple-F1
+	// − small slack (averaged rows are ordered ind, greedy, coll).
+	if len(tab.Rows)%3 != 0 {
+		t.Fatalf("unexpected row count %d", len(tab.Rows))
+	}
+	for i := 0; i < len(tab.Rows); i += 3 {
+		ind := tab.Rows[i]
+		coll := tab.Rows[i+2]
+		if ind[1] != "independent" || coll[1] != "collective" {
+			t.Fatalf("row ordering changed: %v / %v", ind, coll)
+		}
+		var fInd, fColl float64
+		if _, err := fmtSscan(ind[5], &fInd); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(coll[5], &fColl); err != nil {
+			t.Fatal(err)
+		}
+		if fColl > fInd+1e-9 {
+			t.Errorf("%s: collective objective %v worse than independent %v", ind[0], fColl, fInd)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "X",
+		Caption: "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"n1"},
+	}
+	tab.AddRow("1", "2")
+	txt := tab.Render()
+	if !strings.Contains(txt, "== X: demo ==") || !strings.Contains(txt, "note: n1") {
+		t.Errorf("Render:\n%s", txt)
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, "| a | bb |") || !strings.Contains(md, "| 1 | 2 |") {
+		t.Errorf("Markdown:\n%s", md)
+	}
+}
+
+func TestOptionsSeeds(t *testing.T) {
+	if (Options{}).seeds() != 3 {
+		t.Error("default seeds")
+	}
+	if (Options{Quick: true}).seeds() != 1 {
+		t.Error("quick seeds")
+	}
+	if (Options{Seeds: 7}).seeds() != 7 {
+		t.Error("explicit seeds")
+	}
+}
+
+// fmtSscan parses a float table cell.
+func fmtSscan(s string, out *float64) (int, error) {
+	return fmt.Sscanf(s, "%g", out)
+}

@@ -1,0 +1,713 @@
+// Package ibench generates schema-mapping scenarios in the style of
+// the iBench integration-metadata generator (Arocena et al., PVLDB
+// 2015), as used by the paper's evaluation (Section VI-A and appendix
+// §II): a configurable number of mapping primitives, each contributing
+// source/target relations, a gold st tgd, attribute correspondences
+// and synthetic source data; plus the three noise processes of the
+// paper's Table I — random correspondences (piCorresp), deleted
+// non-certain error tuples (piErrors) and added non-certain
+// unexplained tuples (piUnexplained).
+//
+// The real iBench is a Java tool; this from-scratch generator
+// reproduces the seven primitives the paper uses (CP, ADD, DL, ADL,
+// ME, VP, VNM) with the same range parameters, which is what drives
+// candidate ambiguity in the evaluation.
+package ibench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"schemamap/internal/chase"
+	"schemamap/internal/clio"
+	"schemamap/internal/data"
+	"schemamap/internal/schema"
+	"schemamap/internal/tgd"
+)
+
+// Primitive enumerates the seven iBench primitives used by the paper.
+type Primitive int
+
+const (
+	// CP copies a source relation to the target under a new name.
+	CP Primitive = iota
+	// ADD copies a source relation and adds attributes.
+	ADD
+	// DL copies a source relation and deletes attributes.
+	DL
+	// ADL adds and deletes attributes on the same relation.
+	ADL
+	// ME copies two source relations, after joining them, into one
+	// target relation.
+	ME
+	// VP vertically partitions a source relation into two joined
+	// target relations.
+	VP
+	// VNM is VP with an additional target relation forming an
+	// N-to-M relationship between the two partitions.
+	VNM
+)
+
+// AllPrimitives lists the seven primitives in the paper's order.
+var AllPrimitives = []Primitive{CP, ADD, DL, ADL, ME, VP, VNM}
+
+// String implements fmt.Stringer.
+func (p Primitive) String() string {
+	switch p {
+	case CP:
+		return "CP"
+	case ADD:
+		return "ADD"
+	case DL:
+		return "DL"
+	case ADL:
+		return "ADL"
+	case ME:
+		return "ME"
+	case VP:
+		return "VP"
+	case VNM:
+		return "VNM"
+	}
+	return fmt.Sprintf("Primitive(%d)", int(p))
+}
+
+// ParsePrimitive parses a primitive name.
+func ParsePrimitive(s string) (Primitive, error) {
+	for _, p := range AllPrimitives {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("ibench: unknown primitive %q", s)
+}
+
+// Config controls scenario generation. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Primitives is the mix to cycle through (instance i uses
+	// Primitives[i % len]).
+	Primitives []Primitive
+	// N is the number of primitive instances.
+	N int
+	// BaseArity is the number of payload attributes per source
+	// relation (≥ 2).
+	BaseArity int
+	// AddRange and DelRange bound the attributes added/removed by
+	// ADD/DL/ADL, inclusive; the paper's appendix uses (2,4).
+	AddRange [2]int
+	DelRange [2]int
+	// Rows is the number of tuples generated per source relation.
+	Rows int
+	// PoolDivisor controls value-pool sizes (pool = max(2, Rows /
+	// PoolDivisor)); smaller pools mean more joinable duplicates.
+	PoolDivisor int
+	// PiCorresp, PiErrors and PiUnexplained are the Table I noise
+	// percentages (0..100).
+	PiCorresp     float64
+	PiErrors      float64
+	PiUnexplained float64
+	// Seed drives all randomness; equal configs generate equal
+	// scenarios.
+	Seed int64
+	// Clio tunes candidate generation.
+	Clio clio.Options
+}
+
+// DefaultConfig returns the paper-flavoured defaults: all seven
+// primitives, ranges (2,4), and no noise.
+func DefaultConfig(n int, seed int64) Config {
+	return Config{
+		Primitives:  append([]Primitive(nil), AllPrimitives...),
+		N:           n,
+		BaseArity:   3,
+		AddRange:    [2]int{2, 4},
+		DelRange:    [2]int{2, 4},
+		Rows:        10,
+		PoolDivisor: 2,
+		Seed:        seed,
+		Clio:        clio.DefaultOptions(),
+	}
+}
+
+// Scenario is one generated mapping-selection scenario.
+type Scenario struct {
+	Source *schema.Schema
+	Target *schema.Schema
+	// I is the source instance; J the (noised) target data example.
+	I *data.Instance
+	J *data.Instance
+	// Gold is the generating mapping M_G; Candidates the Clio-style
+	// candidate set C with M_G ⊆ C; GoldIndices locates M_G inside C.
+	Gold        tgd.Mapping
+	Candidates  tgd.Mapping
+	GoldIndices []int
+	// Corrs is the full (gold + noisy) correspondence set.
+	Corrs schema.Correspondences
+	// KGold is chase(I, Gold) with labelled nulls, before grounding.
+	KGold *data.Instance
+	// Noise accounting.
+	NumNoisyCorrs    int
+	DeletedErrors    int
+	AddedUnexplained int
+	// Config echoes the generating configuration.
+	Config Config
+}
+
+// GoldSelection returns the boolean selection vector marking M_G
+// inside Candidates.
+func (s *Scenario) GoldSelection() []bool {
+	sel := make([]bool, len(s.Candidates))
+	for _, i := range s.GoldIndices {
+		sel[i] = true
+	}
+	return sel
+}
+
+// primOut is what one primitive instance contributes.
+type primOut struct {
+	gold  tgd.Mapping
+	corrs schema.Correspondences
+	// tgtRels and srcRels name this invocation's relations, for the
+	// piCorresp noise process ("not involving T").
+	srcRels []string
+	tgtRels []string
+}
+
+// Generate builds a scenario from the configuration.
+func Generate(cfg Config) (*Scenario, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("ibench: N must be positive")
+	}
+	if len(cfg.Primitives) == 0 {
+		return nil, fmt.Errorf("ibench: empty primitive mix")
+	}
+	if cfg.BaseArity < 2 {
+		return nil, fmt.Errorf("ibench: BaseArity must be ≥ 2")
+	}
+	if cfg.Rows <= 0 {
+		return nil, fmt.Errorf("ibench: Rows must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	sc := &Scenario{
+		Source: schema.New("source"),
+		Target: schema.New("target"),
+		I:      data.NewInstance(),
+		Config: cfg,
+	}
+	g := &generator{cfg: cfg, rng: rng, sc: sc}
+
+	var prims []primOut
+	for i := 0; i < cfg.N; i++ {
+		p := cfg.Primitives[i%len(cfg.Primitives)]
+		po, err := g.genPrimitive(i, p)
+		if err != nil {
+			return nil, err
+		}
+		prims = append(prims, po)
+		sc.Gold = append(sc.Gold, po.gold...)
+		sc.Corrs = append(sc.Corrs, po.corrs...)
+	}
+
+	sc.NumNoisyCorrs = g.addNoisyCorrs(prims)
+
+	// Candidate generation; the gold mapping is guaranteed to be in C.
+	cands, err := clio.Generate(sc.Source, sc.Target, sc.Corrs, cfg.Clio)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range sc.Gold {
+		if !cands.Contains(d) {
+			cands = append(cands, d)
+		}
+	}
+	sc.Candidates = cands.Dedup()
+	goldSet := sc.Gold.CanonicalSet()
+	for i, d := range sc.Candidates {
+		if goldSet[d.Canonical()] {
+			sc.GoldIndices = append(sc.GoldIndices, i)
+		}
+	}
+
+	if err := g.buildDataExample(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+type generator struct {
+	cfg cfgAlias
+	rng *rand.Rand
+	sc  *Scenario
+}
+
+type cfgAlias = Config
+
+// rangeIn draws uniformly from an inclusive range.
+func (g *generator) rangeIn(r [2]int) int {
+	lo, hi := r[0], r[1]
+	if hi < lo {
+		hi = lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+// attrs makes attribute names c0..c{n-1}.
+func attrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("c%d", i)
+	}
+	return out
+}
+
+// value draws from a per-column pool; pools are sized to force
+// duplicates (joinability) while keeping variety.
+func (g *generator) value(inst, rel string, col, pool int) string {
+	if pool < 2 {
+		pool = 2
+	}
+	return fmt.Sprintf("%s_%s_c%d_v%d", inst, rel, col, g.rng.Intn(pool))
+}
+
+// keyValue draws join keys from a pool shared per primitive instance.
+func (g *generator) keyValue(inst string, pool int) string {
+	if pool < 2 {
+		pool = 2
+	}
+	return fmt.Sprintf("%s_k%d", inst, g.rng.Intn(pool))
+}
+
+func (g *generator) pool() int {
+	d := g.cfg.PoolDivisor
+	if d <= 0 {
+		d = 2
+	}
+	p := g.cfg.Rows / d
+	if p < 2 {
+		p = 2
+	}
+	return p
+}
+
+// genPrimitive adds one primitive instance to the scenario.
+func (g *generator) genPrimitive(i int, p Primitive) (primOut, error) {
+	switch p {
+	case CP:
+		return g.genCopyLike(i, 0, 0)
+	case ADD:
+		return g.genCopyLike(i, g.rangeIn(g.cfg.AddRange), 0)
+	case DL:
+		return g.genCopyLike(i, 0, g.rangeIn(g.cfg.DelRange))
+	case ADL:
+		return g.genCopyLike(i, g.rangeIn(g.cfg.AddRange), g.rangeIn(g.cfg.DelRange))
+	case ME:
+		return g.genME(i)
+	case VP:
+		return g.genVP(i)
+	case VNM:
+		return g.genVNM(i)
+	}
+	return primOut{}, fmt.Errorf("ibench: unhandled primitive %v", p)
+}
+
+// genCopyLike covers CP (add=del=0), ADD, DL and ADL. The source
+// relation gets BaseArity+del attributes so that del of them can be
+// deleted; the target keeps the remaining BaseArity and gains add
+// fresh attributes, which the gold tgd fills with existentials.
+func (g *generator) genCopyLike(i, add, del int) (primOut, error) {
+	inst := fmt.Sprintf("p%d", i)
+	srcArity := g.cfg.BaseArity + del // deleted attributes must exist
+	srcName := fmt.Sprintf("s%d", i)
+	tgtName := fmt.Sprintf("t%d", i)
+	if err := g.sc.Source.AddRelation(schema.NewRelation(srcName, attrs(srcArity)...)); err != nil {
+		return primOut{}, err
+	}
+	keep := srcArity - del
+	if err := g.sc.Target.AddRelation(schema.NewRelation(tgtName, attrs(keep+add)...)); err != nil {
+		return primOut{}, err
+	}
+	var po primOut
+	po.srcRels = []string{srcName}
+	po.tgtRels = []string{tgtName}
+	for a := 0; a < keep; a++ {
+		po.corrs = append(po.corrs, schema.Correspondence{
+			SourceRel: srcName, SourcePos: a, TargetRel: tgtName, TargetPos: a,
+		})
+	}
+	// Gold tgd: s(x0..x{srcArity-1}) -> t(x0..x{keep-1}, E0..E{add-1}).
+	body := []tgd.Atom{varAtom(srcName, srcArity, "x", 0)}
+	headArgs := make([]tgd.Term, 0, keep+add)
+	for a := 0; a < keep; a++ {
+		headArgs = append(headArgs, tgd.Var(fmt.Sprintf("x%d", a)))
+	}
+	for a := 0; a < add; a++ {
+		headArgs = append(headArgs, tgd.Var(fmt.Sprintf("E%d", a)))
+	}
+	po.gold = tgd.Mapping{tgd.New(body, []tgd.Atom{{Rel: tgtName, Args: headArgs}})}
+
+	pool := g.pool()
+	for r := 0; r < g.cfg.Rows; r++ {
+		args := make([]string, srcArity)
+		for c := range args {
+			args[c] = g.value(inst, srcName, c, pool)
+		}
+		g.sc.I.Add(data.NewTuple(srcName, args...))
+	}
+	return po, nil
+}
+
+// genME: two source relations joined on their first column copied to
+// one merged target relation.
+func (g *generator) genME(i int) (primOut, error) {
+	inst := fmt.Sprintf("p%d", i)
+	k := g.cfg.BaseArity
+	aName := fmt.Sprintf("s%da", i)
+	bName := fmt.Sprintf("s%db", i)
+	tName := fmt.Sprintf("t%d", i)
+	if err := g.sc.Source.AddRelation(schema.NewRelation(aName, attrs(k)...)); err != nil {
+		return primOut{}, err
+	}
+	if err := g.sc.Source.AddRelation(schema.NewRelation(bName, attrs(k)...)); err != nil {
+		return primOut{}, err
+	}
+	g.sc.Source.MustAddFK(schema.ForeignKey{FromRel: aName, FromCols: []int{0}, ToRel: bName, ToCols: []int{0}})
+	// Target: key + payloads of both sides.
+	tArity := 1 + (k-1)*2
+	if err := g.sc.Target.AddRelation(schema.NewRelation(tName, attrs(tArity)...)); err != nil {
+		return primOut{}, err
+	}
+	var po primOut
+	po.srcRels = []string{aName, bName}
+	po.tgtRels = []string{tName}
+	po.corrs = append(po.corrs, schema.Correspondence{SourceRel: aName, SourcePos: 0, TargetRel: tName, TargetPos: 0})
+	for a := 1; a < k; a++ {
+		po.corrs = append(po.corrs,
+			schema.Correspondence{SourceRel: aName, SourcePos: a, TargetRel: tName, TargetPos: a},
+			schema.Correspondence{SourceRel: bName, SourcePos: a, TargetRel: tName, TargetPos: k - 1 + a},
+		)
+	}
+	// Gold: sA(K,a1..) & sB(K,b1..) -> t(K,a1..,b1..).
+	bodyA := make([]tgd.Term, k)
+	bodyB := make([]tgd.Term, k)
+	headT := make([]tgd.Term, tArity)
+	bodyA[0] = tgd.Var("K")
+	bodyB[0] = tgd.Var("K")
+	headT[0] = tgd.Var("K")
+	for a := 1; a < k; a++ {
+		bodyA[a] = tgd.Var(fmt.Sprintf("a%d", a))
+		bodyB[a] = tgd.Var(fmt.Sprintf("b%d", a))
+		headT[a] = tgd.Var(fmt.Sprintf("a%d", a))
+		headT[k-1+a] = tgd.Var(fmt.Sprintf("b%d", a))
+	}
+	po.gold = tgd.Mapping{tgd.New(
+		[]tgd.Atom{{Rel: aName, Args: bodyA}, {Rel: bName, Args: bodyB}},
+		[]tgd.Atom{{Rel: tName, Args: headT}},
+	)}
+
+	pool := g.pool()
+	for r := 0; r < g.cfg.Rows; r++ {
+		aArgs := make([]string, k)
+		bArgs := make([]string, k)
+		aArgs[0] = g.keyValue(inst, pool)
+		bArgs[0] = g.keyValue(inst, pool)
+		for c := 1; c < k; c++ {
+			aArgs[c] = g.value(inst, aName, c, pool)
+			bArgs[c] = g.value(inst, bName, c, pool)
+		}
+		g.sc.I.Add(data.NewTuple(aName, aArgs...))
+		g.sc.I.Add(data.NewTuple(bName, bArgs...))
+	}
+	return po, nil
+}
+
+// genVP: one source relation vertically partitioned into two joined
+// target relations linked by a fresh (existential) join value.
+func (g *generator) genVP(i int) (primOut, error) {
+	inst := fmt.Sprintf("p%d", i)
+	k := g.cfg.BaseArity // payload attributes; first is the key
+	srcName := fmt.Sprintf("s%d", i)
+	t1 := fmt.Sprintf("t%da", i)
+	t2 := fmt.Sprintf("t%db", i)
+	// Split payload: first half with key into t1, rest into t2.
+	half := (k + 1) / 2
+	if err := g.sc.Source.AddRelation(schema.NewRelation(srcName, attrs(k)...)); err != nil {
+		return primOut{}, err
+	}
+	// t1: kept attrs + join column; t2: join column + remaining attrs.
+	if err := g.sc.Target.AddRelation(schema.NewRelation(t1, attrs(half+1)...)); err != nil {
+		return primOut{}, err
+	}
+	if err := g.sc.Target.AddRelation(schema.NewRelation(t2, attrs(1+(k-half))...)); err != nil {
+		return primOut{}, err
+	}
+	g.sc.Target.MustAddFK(schema.ForeignKey{FromRel: t1, FromCols: []int{half}, ToRel: t2, ToCols: []int{0}})
+	var po primOut
+	po.srcRels = []string{srcName}
+	po.tgtRels = []string{t1, t2}
+	for a := 0; a < half; a++ {
+		po.corrs = append(po.corrs, schema.Correspondence{SourceRel: srcName, SourcePos: a, TargetRel: t1, TargetPos: a})
+	}
+	for a := half; a < k; a++ {
+		po.corrs = append(po.corrs, schema.Correspondence{SourceRel: srcName, SourcePos: a, TargetRel: t2, TargetPos: a - half + 1})
+	}
+	// Gold: s(x0..) -> t1(x0..x{half-1}, F) & t2(F, x{half}..).
+	body := []tgd.Atom{varAtom(srcName, k, "x", 0)}
+	h1 := make([]tgd.Term, half+1)
+	for a := 0; a < half; a++ {
+		h1[a] = tgd.Var(fmt.Sprintf("x%d", a))
+	}
+	h1[half] = tgd.Var("F")
+	h2 := make([]tgd.Term, 1+(k-half))
+	h2[0] = tgd.Var("F")
+	for a := half; a < k; a++ {
+		h2[a-half+1] = tgd.Var(fmt.Sprintf("x%d", a))
+	}
+	po.gold = tgd.Mapping{tgd.New(body, []tgd.Atom{{Rel: t1, Args: h1}, {Rel: t2, Args: h2}})}
+
+	pool := g.pool()
+	for r := 0; r < g.cfg.Rows; r++ {
+		args := make([]string, k)
+		for c := range args {
+			args[c] = g.value(inst, srcName, c, pool)
+		}
+		g.sc.I.Add(data.NewTuple(srcName, args...))
+	}
+	return po, nil
+}
+
+// genVNM: like VP but with an additional link relation forming an
+// N-to-M relationship, both of whose columns are existential keys.
+func (g *generator) genVNM(i int) (primOut, error) {
+	inst := fmt.Sprintf("p%d", i)
+	k := g.cfg.BaseArity
+	srcName := fmt.Sprintf("s%d", i)
+	t1 := fmt.Sprintf("t%da", i)
+	t2 := fmt.Sprintf("t%db", i)
+	link := fmt.Sprintf("t%dm", i)
+	half := (k + 1) / 2
+	if err := g.sc.Source.AddRelation(schema.NewRelation(srcName, attrs(k)...)); err != nil {
+		return primOut{}, err
+	}
+	// t1: key column + first payload half; t2: key column + rest;
+	// link: the two keys.
+	if err := g.sc.Target.AddRelation(schema.NewRelation(t1, attrs(1+half)...)); err != nil {
+		return primOut{}, err
+	}
+	if err := g.sc.Target.AddRelation(schema.NewRelation(t2, attrs(1+(k-half))...)); err != nil {
+		return primOut{}, err
+	}
+	if err := g.sc.Target.AddRelation(schema.NewRelation(link, attrs(2)...)); err != nil {
+		return primOut{}, err
+	}
+	g.sc.Target.MustAddFK(schema.ForeignKey{FromRel: link, FromCols: []int{0}, ToRel: t1, ToCols: []int{0}})
+	g.sc.Target.MustAddFK(schema.ForeignKey{FromRel: link, FromCols: []int{1}, ToRel: t2, ToCols: []int{0}})
+	var po primOut
+	po.srcRels = []string{srcName}
+	po.tgtRels = []string{t1, t2, link}
+	for a := 0; a < half; a++ {
+		po.corrs = append(po.corrs, schema.Correspondence{SourceRel: srcName, SourcePos: a, TargetRel: t1, TargetPos: a + 1})
+	}
+	for a := half; a < k; a++ {
+		po.corrs = append(po.corrs, schema.Correspondence{SourceRel: srcName, SourcePos: a, TargetRel: t2, TargetPos: a - half + 1})
+	}
+	// Gold: s(x̄) -> t1(K1, x0..) & t2(K2, x_half..) & link(K1, K2).
+	body := []tgd.Atom{varAtom(srcName, k, "x", 0)}
+	h1 := make([]tgd.Term, 1+half)
+	h1[0] = tgd.Var("K1")
+	for a := 0; a < half; a++ {
+		h1[a+1] = tgd.Var(fmt.Sprintf("x%d", a))
+	}
+	h2 := make([]tgd.Term, 1+(k-half))
+	h2[0] = tgd.Var("K2")
+	for a := half; a < k; a++ {
+		h2[a-half+1] = tgd.Var(fmt.Sprintf("x%d", a))
+	}
+	hm := []tgd.Term{tgd.Var("K1"), tgd.Var("K2")}
+	po.gold = tgd.Mapping{tgd.New(body, []tgd.Atom{
+		{Rel: t1, Args: h1}, {Rel: t2, Args: h2}, {Rel: link, Args: hm},
+	})}
+
+	pool := g.pool()
+	for r := 0; r < g.cfg.Rows; r++ {
+		args := make([]string, k)
+		for c := range args {
+			args[c] = g.value(inst, srcName, c, pool)
+		}
+		g.sc.I.Add(data.NewTuple(srcName, args...))
+	}
+	return po, nil
+}
+
+// varAtom builds rel(prefix{from}, prefix{from+1}, ...).
+func varAtom(rel string, arity int, prefix string, from int) tgd.Atom {
+	args := make([]tgd.Term, arity)
+	for i := range args {
+		args[i] = tgd.Var(fmt.Sprintf("%s%d", prefix, from+i))
+	}
+	return tgd.Atom{Rel: rel, Args: args}
+}
+
+// addNoisyCorrs implements the appendix §II process: select piCorresp%
+// of target relations; for each, pick a source relation from another
+// primitive invocation and correspond every target attribute to a
+// random attribute of it. Returns the number of added correspondences.
+func (g *generator) addNoisyCorrs(prims []primOut) int {
+	if g.cfg.PiCorresp <= 0 {
+		return 0
+	}
+	type tgtOwner struct {
+		rel  string
+		prim int
+	}
+	var tgts []tgtOwner
+	for pi, po := range prims {
+		for _, r := range po.tgtRels {
+			tgts = append(tgts, tgtOwner{r, pi})
+		}
+	}
+	n := int(float64(len(tgts))*g.cfg.PiCorresp/100.0 + 0.5)
+	if n <= 0 {
+		return 0
+	}
+	perm := g.rng.Perm(len(tgts))
+	added := 0
+	for _, ti := range perm[:min(n, len(tgts))] {
+		t := tgts[ti]
+		// Source relations of other primitive invocations.
+		var pool []string
+		for pi, po := range prims {
+			if pi == t.prim {
+				continue
+			}
+			pool = append(pool, po.srcRels...)
+		}
+		if len(pool) == 0 {
+			continue
+		}
+		srcRel := pool[g.rng.Intn(len(pool))]
+		srcArity := g.sc.Source.Relation(srcRel).Arity()
+		tgtArity := g.sc.Target.Relation(t.rel).Arity()
+		for a := 0; a < tgtArity; a++ {
+			g.sc.Corrs = append(g.sc.Corrs, schema.Correspondence{
+				SourceRel: srcRel,
+				SourcePos: g.rng.Intn(srcArity),
+				TargetRel: t.rel,
+				TargetPos: a,
+			})
+			added++
+		}
+	}
+	return added
+}
+
+// buildDataExample materialises K_G, grounds it into J, and applies
+// the piErrors / piUnexplained noise of appendix §II.
+func (g *generator) buildDataExample() error {
+	sc := g.sc
+	nf := &data.NullFactory{}
+	kg := chase.Chase(sc.I, sc.Gold, nf)
+	sc.KGold = kg.Instance
+
+	// Ground K_G into J with a consistent null→constant map, keeping
+	// the tuple correspondence for the deletion noise.
+	grounds := make(map[string]data.Value) // null label -> constant
+	gcount := 0
+	groundTuple := func(t data.Tuple, prefix string) data.Tuple {
+		args := make([]data.Value, len(t.Args))
+		for i, a := range t.Args {
+			if !a.IsNull() {
+				args[i] = a
+				continue
+			}
+			v, ok := grounds[a.Name()]
+			if !ok {
+				gcount++
+				v = data.Const(fmt.Sprintf("%s%d", prefix, gcount))
+				grounds[a.Name()] = v
+			}
+			args[i] = v
+		}
+		return data.Tuple{Rel: t.Rel, Args: args}
+	}
+	sc.J = data.NewInstance()
+	kgTuples := kg.Instance.All()
+	groundOf := make([]data.Tuple, len(kgTuples))
+	for i, t := range kgTuples {
+		gt := groundTuple(t, "v")
+		groundOf[i] = gt
+		sc.J.Add(gt)
+	}
+
+	if sc.Config.PiErrors <= 0 && sc.Config.PiUnexplained <= 0 {
+		return nil
+	}
+
+	// Chase the full candidate set and classify tuples by generator,
+	// up to single-tuple homomorphic equivalence (canonical patterns).
+	goldSet := make(map[int]bool, len(sc.GoldIndices))
+	for _, i := range sc.GoldIndices {
+		goldSet[i] = true
+	}
+	kc := chase.Chase(sc.I, sc.Candidates, nf)
+	patKG := make(map[string]bool, len(kgTuples))
+	for _, t := range kgTuples {
+		patKG[t.CanonPattern()] = true
+	}
+	patOther := make(map[string]bool)
+	var otherTuples []data.Tuple
+	seenOther := make(map[string]bool)
+	for _, b := range kc.Blocks {
+		if goldSet[b.TGDIndex] {
+			continue
+		}
+		for _, t := range b.Tuples {
+			pat := t.CanonPattern()
+			if !patOther[pat] {
+				patOther[pat] = true
+			}
+			if !seenOther[pat] {
+				seenOther[pat] = true
+				otherTuples = append(otherTuples, t)
+			}
+		}
+	}
+
+	// Non-certain error tuples: generated only by M_G. Deleting their
+	// ground images from J turns them into errors of the gold mapping.
+	if sc.Config.PiErrors > 0 {
+		var onlyGold []int // indices into kgTuples
+		for i, t := range kgTuples {
+			if !patOther[t.CanonPattern()] {
+				onlyGold = append(onlyGold, i)
+			}
+		}
+		n := int(float64(len(onlyGold))*sc.Config.PiErrors/100.0 + 0.5)
+		perm := g.rng.Perm(len(onlyGold))
+		for _, pi := range perm[:min(n, len(onlyGold))] {
+			if sc.J.Remove(groundOf[onlyGold[pi]]) {
+				sc.DeletedErrors++
+			}
+		}
+	}
+
+	// Non-certain unexplained tuples: generated only by C − M_G.
+	// Adding their ground images to J rewards wrong candidates.
+	if sc.Config.PiUnexplained > 0 {
+		var onlyOther []data.Tuple
+		for _, t := range otherTuples {
+			if !patKG[t.CanonPattern()] {
+				onlyOther = append(onlyOther, t)
+			}
+		}
+		n := int(float64(len(onlyOther))*sc.Config.PiUnexplained/100.0 + 0.5)
+		perm := g.rng.Perm(len(onlyOther))
+		for _, pi := range perm[:min(n, len(onlyOther))] {
+			if sc.J.Add(groundTuple(onlyOther[pi], "u")) {
+				sc.AddedUnexplained++
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package ibench
+
+import (
+	"testing"
+
+	"schemamap/internal/chase"
+	"schemamap/internal/data"
+	"schemamap/internal/metrics"
+)
+
+func gen(t *testing.T, cfg Config) *Scenario {
+	t.Helper()
+	sc, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return sc
+}
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	cfg := DefaultConfig(7, 42) // one of each primitive
+	sc := gen(t, cfg)
+
+	if err := sc.Gold.Validate(sc.Source, sc.Target); err != nil {
+		t.Errorf("gold mapping invalid: %v", err)
+	}
+	if err := sc.Candidates.Validate(sc.Source, sc.Target); err != nil {
+		t.Errorf("candidates invalid: %v", err)
+	}
+	if err := sc.Corrs.Validate(sc.Source, sc.Target); err != nil {
+		t.Errorf("correspondences invalid: %v", err)
+	}
+	// M_G ⊆ C and GoldIndices locate it.
+	if len(sc.GoldIndices) != len(sc.Gold) {
+		t.Errorf("gold indices %v, want one per gold tgd (%d)", sc.GoldIndices, len(sc.Gold))
+	}
+	goldSet := sc.Gold.CanonicalSet()
+	for _, i := range sc.GoldIndices {
+		if !goldSet[sc.Candidates[i].Canonical()] {
+			t.Errorf("gold index %d points at non-gold candidate %v", i, sc.Candidates[i])
+		}
+	}
+	// There must be distractor candidates beyond gold.
+	if len(sc.Candidates) <= len(sc.Gold) {
+		t.Errorf("no distractors: |C| = %d, |M_G| = %d", len(sc.Candidates), len(sc.Gold))
+	}
+	if sc.I.Len() == 0 || sc.J.Len() == 0 {
+		t.Error("empty instances")
+	}
+	// Without noise, J is exactly ground(K_G).
+	if sc.J.Len() != sc.KGold.Len() {
+		t.Errorf("|J| = %d, |K_G| = %d, want equal without noise", sc.J.Len(), sc.KGold.Len())
+	}
+	// J must be ground.
+	for _, tu := range sc.J.All() {
+		if tu.HasNull() {
+			t.Fatalf("J contains labelled null: %v", tu)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(7, 7)
+	cfg.PiCorresp, cfg.PiErrors, cfg.PiUnexplained = 50, 20, 20
+	a := gen(t, cfg)
+	b := gen(t, cfg)
+	if !a.I.Equal(b.I) || !a.J.Equal(b.J) {
+		t.Error("instances differ across runs with the same seed")
+	}
+	if len(a.Candidates) != len(b.Candidates) {
+		t.Fatalf("candidate counts differ: %d vs %d", len(a.Candidates), len(b.Candidates))
+	}
+	for i := range a.Candidates {
+		if a.Candidates[i].Canonical() != b.Candidates[i].Canonical() {
+			t.Errorf("candidate %d differs", i)
+		}
+	}
+}
+
+func TestGoldExchangesGroundTruth(t *testing.T) {
+	// Without noise the gold mapping must reproduce J's patterns
+	// modulo the grounding of nulls: recall of K_G vs K_G is 1.
+	sc := gen(t, DefaultConfig(7, 3))
+	m := metrics.TuplePRF(sc.I, sc.Gold, sc.Gold)
+	if m.F1() != 1 {
+		t.Errorf("gold-vs-gold F1 = %v, want 1", m.F1())
+	}
+}
+
+func TestPerPrimitiveScenarios(t *testing.T) {
+	for _, p := range AllPrimitives {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := DefaultConfig(2, 11)
+			cfg.Primitives = []Primitive{p}
+			sc := gen(t, cfg)
+			if len(sc.Gold) != 2 {
+				t.Fatalf("want 2 gold tgds, got %d", len(sc.Gold))
+			}
+			// The gold tgd must fire on the generated data.
+			res := chase.Chase(sc.I, sc.Gold, nil)
+			if res.Instance.Len() == 0 {
+				t.Error("gold mapping produces no target data")
+			}
+			// Head shape per primitive.
+			d := sc.Gold[0]
+			wantHead := map[Primitive]int{CP: 1, ADD: 1, DL: 1, ADL: 1, ME: 1, VP: 2, VNM: 3}[p]
+			if len(d.Head) != wantHead {
+				t.Errorf("%v head atoms = %d, want %d", p, len(d.Head), wantHead)
+			}
+			wantExist := map[Primitive]bool{CP: false, DL: false, ME: false, ADD: true, ADL: true, VP: true, VNM: true}[p]
+			if got := len(d.ExistVars()) > 0; got != wantExist {
+				t.Errorf("%v existentials = %v, want %v (tgd %v)", p, got, wantExist, d)
+			}
+		})
+	}
+}
+
+func TestNoisyCorrespondences(t *testing.T) {
+	cfg := DefaultConfig(7, 5)
+	cfg.PiCorresp = 100
+	sc := gen(t, cfg)
+	if sc.NumNoisyCorrs == 0 {
+		t.Error("piCorresp=100 added no correspondences")
+	}
+	clean := gen(t, DefaultConfig(7, 5))
+	if len(sc.Candidates) <= len(clean.Candidates) {
+		t.Errorf("noisy corrs should add candidates: %d vs %d",
+			len(sc.Candidates), len(clean.Candidates))
+	}
+}
+
+func TestErrorNoiseDeletesFromJ(t *testing.T) {
+	cfg := DefaultConfig(7, 9)
+	cfg.PiErrors = 50
+	sc := gen(t, cfg)
+	if sc.DeletedErrors == 0 {
+		t.Fatal("piErrors=50 deleted nothing")
+	}
+	clean := gen(t, DefaultConfig(7, 9))
+	if got, want := sc.J.Len(), clean.J.Len()-sc.DeletedErrors; got != want {
+		t.Errorf("|J| = %d, want %d after %d deletions", got, want, sc.DeletedErrors)
+	}
+}
+
+func TestUnexplainedNoiseAddsToJ(t *testing.T) {
+	cfg := DefaultConfig(7, 13)
+	cfg.PiUnexplained = 50
+	sc := gen(t, cfg)
+	if sc.AddedUnexplained == 0 {
+		t.Fatal("piUnexplained=50 added nothing")
+	}
+	clean := gen(t, DefaultConfig(7, 13))
+	if got, want := sc.J.Len(), clean.J.Len()+sc.AddedUnexplained; got != want {
+		t.Errorf("|J| = %d, want %d after %d additions", got, want, sc.AddedUnexplained)
+	}
+	for _, tu := range sc.J.All() {
+		if tu.HasNull() {
+			t.Fatalf("added unexplained tuple kept a null: %v", tu)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("zero config should fail")
+	}
+	cfg := DefaultConfig(1, 1)
+	cfg.BaseArity = 1
+	if _, err := Generate(cfg); err == nil {
+		t.Error("BaseArity 1 should fail")
+	}
+	cfg = DefaultConfig(1, 1)
+	cfg.Rows = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("Rows 0 should fail")
+	}
+	cfg = DefaultConfig(1, 1)
+	cfg.Primitives = nil
+	if _, err := Generate(cfg); err == nil {
+		t.Error("empty primitive mix should fail")
+	}
+}
+
+func TestParsePrimitive(t *testing.T) {
+	for _, p := range AllPrimitives {
+		got, err := ParsePrimitive(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip failed for %v: %v %v", p, got, err)
+		}
+	}
+	if _, err := ParsePrimitive("XX"); err == nil {
+		t.Error("expected error for unknown primitive")
+	}
+}
+
+func TestGoldSelectionVector(t *testing.T) {
+	sc := gen(t, DefaultConfig(3, 21))
+	sel := sc.GoldSelection()
+	n := 0
+	for _, on := range sel {
+		if on {
+			n++
+		}
+	}
+	if n != len(sc.Gold) {
+		t.Errorf("gold selection has %d bits, want %d", n, len(sc.Gold))
+	}
+	_ = data.NewInstance() // keep data import for helpers above
+}

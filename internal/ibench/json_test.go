@@ -1,0 +1,90 @@
+package ibench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(7, 19)
+	cfg.PiCorresp, cfg.PiErrors, cfg.PiUnexplained = 50, 20, 20
+	sc := gen(t, cfg)
+
+	b, err := MarshalScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalScenario(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.I.Equal(sc.I) {
+		t.Error("I did not round trip")
+	}
+	if !got.J.Equal(sc.J) {
+		t.Error("J did not round trip")
+	}
+	if len(got.Candidates) != len(sc.Candidates) {
+		t.Fatalf("candidates = %d, want %d", len(got.Candidates), len(sc.Candidates))
+	}
+	for i := range got.Candidates {
+		if got.Candidates[i].Canonical() != sc.Candidates[i].Canonical() {
+			t.Errorf("candidate %d changed", i)
+		}
+	}
+	if len(got.Gold) != len(sc.Gold) || len(got.Corrs) != len(sc.Corrs) {
+		t.Error("gold/corrs counts changed")
+	}
+	if got.NumNoisyCorrs != sc.NumNoisyCorrs ||
+		got.DeletedErrors != sc.DeletedErrors ||
+		got.AddedUnexplained != sc.AddedUnexplained {
+		t.Error("noise accounting changed")
+	}
+	if got.Source.Len() != sc.Source.Len() || got.Target.Len() != sc.Target.Len() {
+		t.Error("schema sizes changed")
+	}
+	if len(got.Source.FKs()) != len(sc.Source.FKs()) || len(got.Target.FKs()) != len(sc.Target.FKs()) {
+		t.Error("fks changed")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalScenario([]byte("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := UnmarshalScenario([]byte(`{"i":{"r":[["x:bad"]]}}`)); err == nil {
+		t.Error("bad value encoding accepted")
+	}
+	// Candidate referencing a missing relation.
+	bad := `{
+	  "source": {"name":"s","relations":[{"name":"r","attrs":["a"]}]},
+	  "target": {"name":"t","relations":[{"name":"u","attrs":["a"]}]},
+	  "i": {}, "j": {},
+	  "gold": [], "candidates": ["zz(x) -> u(x)"], "goldIndices": [],
+	  "corrs": [], "noise": {}
+	}`
+	if _, err := UnmarshalScenario([]byte(bad)); err == nil {
+		t.Error("invalid candidate accepted")
+	}
+	// Gold index out of range.
+	bad = strings.Replace(bad, `"candidates": ["zz(x) -> u(x)"], "goldIndices": []`,
+		`"candidates": ["r(x) -> u(x)"], "goldIndices": [5]`, 1)
+	if _, err := UnmarshalScenario([]byte(bad)); err == nil {
+		t.Error("out-of-range gold index accepted")
+	}
+}
+
+func TestValueEncoding(t *testing.T) {
+	for _, s := range []string{"c:abc", "n:N1", "c:", "c:with:colons"} {
+		v, err := decodeValue(s)
+		if err != nil {
+			t.Fatalf("decode %q: %v", s, err)
+		}
+		if encodeValue(v) != s {
+			t.Errorf("round trip %q -> %q", s, encodeValue(v))
+		}
+	}
+	if _, err := decodeValue("garbage"); err == nil {
+		t.Error("bad prefix accepted")
+	}
+}

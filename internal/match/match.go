@@ -1,0 +1,252 @@
+// Package match is a simple instance-based schema matcher: it
+// proposes attribute correspondences between a source and a target
+// schema by combining name similarity (trigram Jaccard with an edit-
+// distance fallback for short names) and instance evidence (overlap
+// of the value sets in each column). The paper assumes
+// correspondences are produced by such a matcher (possibly noisily);
+// this package closes the pipeline so the library runs end to end on
+// raw schemas and data: match → generate candidates (clio) → select
+// (core) → exchange (chase) → query.
+package match
+
+import (
+	"sort"
+	"strings"
+
+	"schemamap/internal/data"
+	"schemamap/internal/schema"
+)
+
+// Options tune the matcher.
+type Options struct {
+	// NameWeight and ValueWeight combine the two scores (defaults
+	// 0.5/0.5; they are normalised).
+	NameWeight  float64
+	ValueWeight float64
+	// Threshold is the minimum combined score to emit (default 0.5).
+	Threshold float64
+	// TopK keeps at most K source attributes per target attribute
+	// (default 1).
+	TopK int
+	// MaxValues caps how many distinct values per column feed the
+	// overlap computation (default 1000).
+	MaxValues int
+}
+
+// DefaultOptions returns the package defaults.
+func DefaultOptions() Options {
+	return Options{NameWeight: 0.5, ValueWeight: 0.5, Threshold: 0.5, TopK: 1, MaxValues: 1000}
+}
+
+// Scored is a correspondence with its matcher score.
+type Scored struct {
+	schema.Correspondence
+	Score float64
+	// NameScore and ValueScore are the components.
+	NameScore  float64
+	ValueScore float64
+}
+
+// Match scores every (source attribute, target attribute) pair and
+// returns those above the threshold, best-first, at most TopK per
+// target attribute. I and J provide the instance evidence; either may
+// be nil (name-only matching).
+func Match(src, tgt *schema.Schema, I, J *data.Instance, opts Options) []Scored {
+	if opts.TopK <= 0 {
+		opts.TopK = 1
+	}
+	if opts.MaxValues <= 0 {
+		opts.MaxValues = 1000
+	}
+	wn, wv := opts.NameWeight, opts.ValueWeight
+	if wn <= 0 && wv <= 0 {
+		wn, wv = 0.5, 0.5
+	}
+	total := wn + wv
+	wn, wv = wn/total, wv/total
+	if I == nil || J == nil {
+		wn, wv = 1, 0
+	}
+
+	srcVals := make(map[colKey]map[string]bool)
+	tgtVals := make(map[colKey]map[string]bool)
+	if I != nil && J != nil {
+		srcVals = columnValues(src, I, opts.MaxValues)
+		tgtVals = columnValues(tgt, J, opts.MaxValues)
+	}
+
+	var all []Scored
+	for _, sr := range src.Relations() {
+		for sp, sa := range sr.Attrs {
+			for _, tr := range tgt.Relations() {
+				for tp, ta := range tr.Attrs {
+					ns := nameSimilarity(sa, ta)
+					vs := 0.0
+					if wv > 0 {
+						vs = jaccard(srcVals[colKey{sr.Name, sp}], tgtVals[colKey{tr.Name, tp}])
+					}
+					score := wn*ns + wv*vs
+					if score < opts.Threshold {
+						continue
+					}
+					all = append(all, Scored{
+						Correspondence: schema.Correspondence{
+							SourceRel: sr.Name, SourcePos: sp,
+							TargetRel: tr.Name, TargetPos: tp,
+						},
+						Score:      score,
+						NameScore:  ns,
+						ValueScore: vs,
+					})
+				}
+			}
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Score > all[j].Score })
+
+	// Keep TopK per target attribute.
+	kept := make(map[colKey]int)
+	out := all[:0]
+	for _, s := range all {
+		k := colKey{s.TargetRel, s.TargetPos}
+		if kept[k] >= opts.TopK {
+			continue
+		}
+		kept[k]++
+		out = append(out, s)
+	}
+	return out
+}
+
+// ToCorrespondences strips the scores.
+func ToCorrespondences(scored []Scored) schema.Correspondences {
+	out := make(schema.Correspondences, len(scored))
+	for i, s := range scored {
+		out[i] = s.Correspondence
+	}
+	return out
+}
+
+// colKey identifies one column of one relation.
+type colKey struct {
+	rel string
+	pos int
+}
+
+// columnValues collects the distinct constants per column.
+func columnValues(s *schema.Schema, in *data.Instance, maxVals int) map[colKey]map[string]bool {
+	out := make(map[colKey]map[string]bool)
+	for _, r := range s.Relations() {
+		for _, t := range in.Tuples(r.Name) {
+			for p, v := range t.Args {
+				if v.IsNull() {
+					continue
+				}
+				k := colKey{r.Name, p}
+				set, ok := out[k]
+				if !ok {
+					set = make(map[string]bool)
+					out[k] = set
+				}
+				if len(set) < maxVals {
+					set[strings.ToLower(v.Name())] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// jaccard computes |A∩B| / |A∪B| with the empty-set convention 0.
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for v := range small {
+		if large[v] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// nameSimilarity combines trigram Jaccard (good for long names) with
+// a normalised edit-distance score (good for short names), after
+// lower-casing and stripping separators. Equal strings score 1.
+func nameSimilarity(a, b string) float64 {
+	na, nb := normalizeName(a), normalizeName(b)
+	if na == nb {
+		return 1
+	}
+	tri := jaccard(trigrams(na), trigrams(nb))
+	ed := 1 - float64(editDistance(na, nb))/float64(max(len(na), len(nb)))
+	if ed < 0 {
+		ed = 0
+	}
+	if tri > ed {
+		return tri
+	}
+	return ed
+}
+
+func normalizeName(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		if r == '_' || r == '-' || r == ' ' || r == '.' {
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+func trigrams(s string) map[string]bool {
+	out := make(map[string]bool)
+	if len(s) < 3 {
+		if s != "" {
+			out[s] = true
+		}
+		return out
+	}
+	for i := 0; i+3 <= len(s); i++ {
+		out[s[i:i+3]] = true
+	}
+	return out
+}
+
+// editDistance is the classic Levenshtein distance.
+func editDistance(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

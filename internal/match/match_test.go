@@ -1,0 +1,146 @@
+package match
+
+import (
+	"testing"
+
+	"schemamap/internal/data"
+	"schemamap/internal/schema"
+)
+
+func TestNameSimilarity(t *testing.T) {
+	cases := []struct {
+		a, b string
+		min  float64
+		max  float64
+	}{
+		{"proj.name", "task.name", 0.3, 1},
+		{"proj.name", "proj.name", 1, 1},
+		{"PROJ.Name", "proj_name.", 0.9, 1}, // case/separator insensitive
+		{"emp", "employee", 0.3, 1},
+		{"budget", "zzz", 0, 0.25},
+	}
+	for _, c := range cases {
+		got := nameSimilarity(c.a, c.b)
+		if got < c.min || got > c.max {
+			t.Errorf("nameSimilarity(%q,%q) = %v, want in [%v,%v]", c.a, c.b, got, c.min, c.max)
+		}
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"", "ab", 2},
+		{"kitten", "sitting", 3}, {"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := map[string]bool{"x": true, "y": true}
+	b := map[string]bool{"y": true, "z": true}
+	if got := jaccard(a, b); got != 1.0/3.0 {
+		t.Errorf("jaccard = %v", got)
+	}
+	if jaccard(nil, b) != 0 || jaccard(a, nil) != 0 {
+		t.Error("empty-set convention broken")
+	}
+}
+
+func pipelineSchemas() (*schema.Schema, *schema.Schema, *data.Instance, *data.Instance) {
+	src := schema.New("src")
+	src.MustAddRelation(schema.NewRelation("proj", "name", "emp", "company"))
+	tgt := schema.New("tgt")
+	tgt.MustAddRelation(schema.NewRelation("task", "name", "emp", "oid"))
+	tgt.MustAddRelation(schema.NewRelation("org", "oid", "company"))
+
+	I := data.NewInstance()
+	I.Add(data.NewTuple("proj", "BigData", "Bob", "IBM"))
+	I.Add(data.NewTuple("proj", "ML", "Alice", "SAP"))
+	J := data.NewInstance()
+	J.Add(data.NewTuple("task", "ML", "Alice", "111"))
+	J.Add(data.NewTuple("org", "111", "SAP"))
+	return src, tgt, I, J
+}
+
+func TestMatchRecoversGoldCorrespondences(t *testing.T) {
+	src, tgt, I, J := pipelineSchemas()
+	scored := Match(src, tgt, I, J, DefaultOptions())
+	want := map[schema.Correspondence]bool{
+		{SourceRel: "proj", SourcePos: 0, TargetRel: "task", TargetPos: 0}: false,
+		{SourceRel: "proj", SourcePos: 1, TargetRel: "task", TargetPos: 1}: false,
+		{SourceRel: "proj", SourcePos: 2, TargetRel: "org", TargetPos: 1}:  false,
+	}
+	for _, s := range scored {
+		if _, ok := want[s.Correspondence]; ok {
+			want[s.Correspondence] = true
+		}
+	}
+	for c, found := range want {
+		if !found {
+			t.Errorf("gold correspondence %v not proposed; got %v", c, scored)
+		}
+	}
+}
+
+func TestMatchTopKLimit(t *testing.T) {
+	src, tgt, I, J := pipelineSchemas()
+	opts := DefaultOptions()
+	opts.TopK = 1
+	opts.Threshold = 0.1
+	scored := Match(src, tgt, I, J, opts)
+	perTarget := make(map[string]int)
+	for _, s := range scored {
+		k := s.TargetRel + "#" + string(rune('0'+s.TargetPos))
+		perTarget[k]++
+		if perTarget[k] > 1 {
+			t.Fatalf("TopK=1 violated for %s", k)
+		}
+	}
+}
+
+func TestMatchNameOnlyWithoutInstances(t *testing.T) {
+	src, tgt, _, _ := pipelineSchemas()
+	scored := Match(src, tgt, nil, nil, DefaultOptions())
+	if len(scored) == 0 {
+		t.Fatal("name-only matching found nothing")
+	}
+	for _, s := range scored {
+		if s.ValueScore != 0 {
+			t.Errorf("value score without instances: %+v", s)
+		}
+	}
+}
+
+func TestMatchScoresSortedAndThresholded(t *testing.T) {
+	src, tgt, I, J := pipelineSchemas()
+	opts := DefaultOptions()
+	opts.Threshold = 0.6
+	scored := Match(src, tgt, I, J, opts)
+	for i, s := range scored {
+		if s.Score < opts.Threshold {
+			t.Errorf("score %v below threshold", s.Score)
+		}
+		if i > 0 && scored[i-1].Score < s.Score {
+			t.Error("not sorted best-first")
+		}
+	}
+}
+
+func TestToCorrespondences(t *testing.T) {
+	src, tgt, I, J := pipelineSchemas()
+	scored := Match(src, tgt, I, J, DefaultOptions())
+	cs := ToCorrespondences(scored)
+	if len(cs) != len(scored) {
+		t.Fatal("length mismatch")
+	}
+	if err := cs.Validate(src, tgt); err != nil {
+		t.Errorf("invalid correspondences: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package metrics implements the evaluation measures used by the
+// paper's experiments: precision/recall/F1 of a selected mapping at
+// the mapping level (selected tgds vs the gold mapping, up to logical
+// equality) and at the tuple level (the data the selected mapping
+// exchanges vs the data the gold mapping exchanges, compared up to
+// null renaming).
+package metrics
+
+import (
+	"fmt"
+
+	"schemamap/internal/chase"
+	"schemamap/internal/data"
+	"schemamap/internal/tgd"
+)
+
+// PRF is a precision/recall/F1 triple.
+type PRF struct {
+	Precision  float64
+	Recall     float64
+	TP, FP, FN int
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (m PRF) F1() float64 {
+	if m.Precision+m.Recall == 0 {
+		return 0
+	}
+	return 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+}
+
+// String renders the triple compactly.
+func (m PRF) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f", m.Precision, m.Recall, m.F1())
+}
+
+// prf builds a PRF from counts, with the empty-set conventions:
+// precision of an empty selection is 1 (nothing wrongly selected),
+// recall of an empty gold set is 1.
+func prf(tp, fp, fn int) PRF {
+	m := PRF{TP: tp, FP: fp, FN: fn}
+	if tp+fp == 0 {
+		m.Precision = 1
+	} else {
+		m.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn == 0 {
+		m.Recall = 1
+	} else {
+		m.Recall = float64(tp) / float64(tp+fn)
+	}
+	return m
+}
+
+// MappingPRF compares a selected mapping against the gold mapping at
+// the tgd level, up to logical equality (canonical forms).
+func MappingPRF(selected, gold tgd.Mapping) PRF {
+	selSet := selected.CanonicalSet()
+	goldSet := gold.CanonicalSet()
+	tp, fp, fn := 0, 0, 0
+	for c := range selSet {
+		if goldSet[c] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	for c := range goldSet {
+		if !selSet[c] {
+			fn++
+		}
+	}
+	return prf(tp, fp, fn)
+}
+
+// TuplePRF compares the target instance exchanged by the selected
+// mapping against the one exchanged by the gold mapping. Tuples are
+// compared up to renaming of labelled nulls via canonical patterns
+// (multiset semantics reduced to sets, as chase output is a set).
+func TuplePRF(I *data.Instance, selected, gold tgd.Mapping) PRF {
+	km := chase.Chase(I, selected, nil).Instance
+	kg := chase.Chase(I, gold, nil).Instance
+	return InstancePRF(km, kg)
+}
+
+// InstancePRF compares two instances up to null renaming.
+func InstancePRF(got, want *data.Instance) PRF {
+	gotPats := patternSet(got)
+	wantPats := patternSet(want)
+	tp, fp, fn := 0, 0, 0
+	for p := range gotPats {
+		if wantPats[p] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	for p := range wantPats {
+		if !gotPats[p] {
+			fn++
+		}
+	}
+	return prf(tp, fp, fn)
+}
+
+func patternSet(in *data.Instance) map[string]bool {
+	out := make(map[string]bool, in.Len())
+	for _, t := range in.All() {
+		out[t.CanonPattern()] = true
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"schemamap/internal/data"
+	"schemamap/internal/tgd"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMappingPRF(t *testing.T) {
+	gold := tgd.Mapping{
+		tgd.MustParse("a(x) -> b(x)"),
+		tgd.MustParse("c(x) -> d(x,E)"),
+	}
+	sel := tgd.Mapping{
+		tgd.MustParse("a(y) -> b(y)"), // matches up to renaming
+		tgd.MustParse("e(x) -> f(x)"), // false positive
+	}
+	m := MappingPRF(sel, gold)
+	if m.TP != 1 || m.FP != 1 || m.FN != 1 {
+		t.Errorf("counts = %d/%d/%d", m.TP, m.FP, m.FN)
+	}
+	if !approx(m.Precision, 0.5) || !approx(m.Recall, 0.5) || !approx(m.F1(), 0.5) {
+		t.Errorf("PRF = %v", m)
+	}
+}
+
+func TestMappingPRFEmptyConventions(t *testing.T) {
+	gold := tgd.Mapping{tgd.MustParse("a(x) -> b(x)")}
+	m := MappingPRF(nil, gold)
+	if !approx(m.Precision, 1) || !approx(m.Recall, 0) || !approx(m.F1(), 0) {
+		t.Errorf("empty selection PRF = %v", m)
+	}
+	m = MappingPRF(gold, nil)
+	if !approx(m.Precision, 0) || !approx(m.Recall, 1) {
+		t.Errorf("empty gold PRF = %v", m)
+	}
+	m = MappingPRF(nil, nil)
+	if !approx(m.F1(), 1) {
+		t.Errorf("empty/empty F1 = %v", m.F1())
+	}
+}
+
+func TestTuplePRFPerfect(t *testing.T) {
+	I := data.NewInstance()
+	I.Add(data.NewTuple("r", "1", "2"))
+	I.Add(data.NewTuple("r", "3", "4"))
+	gold := tgd.Mapping{tgd.MustParse("r(x,y) -> s(x,y)")}
+	m := TuplePRF(I, gold, gold)
+	if !approx(m.F1(), 1) {
+		t.Errorf("self F1 = %v", m.F1())
+	}
+}
+
+func TestTuplePRFNullInsensitive(t *testing.T) {
+	I := data.NewInstance()
+	I.Add(data.NewTuple("r", "1", "2"))
+	// Both mappings copy x and invent the second position: their chase
+	// outputs differ only in null labels.
+	a := tgd.Mapping{tgd.MustParse("r(x,y) -> s(x,E)")}
+	b := tgd.Mapping{tgd.MustParse("r(x,y) -> s(x,F)")}
+	m := TuplePRF(I, a, b)
+	if !approx(m.F1(), 1) {
+		t.Errorf("null-renamed F1 = %v", m.F1())
+	}
+	// But a mapping copying y differs.
+	c := tgd.Mapping{tgd.MustParse("r(x,y) -> s(y,E)")}
+	m = TuplePRF(I, a, c)
+	if approx(m.F1(), 1) {
+		t.Errorf("different outputs scored F1=1")
+	}
+}
+
+func TestInstancePRFCounts(t *testing.T) {
+	got := data.NewInstance()
+	got.Add(data.NewTuple("s", "1"))
+	got.Add(data.NewTuple("s", "2"))
+	want := data.NewInstance()
+	want.Add(data.NewTuple("s", "1"))
+	want.Add(data.NewTuple("s", "3"))
+	m := InstancePRF(got, want)
+	if m.TP != 1 || m.FP != 1 || m.FN != 1 {
+		t.Errorf("counts = %d/%d/%d", m.TP, m.FP, m.FN)
+	}
+}
+
+func TestPRFString(t *testing.T) {
+	m := PRF{Precision: 0.5, Recall: 1}
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+	if !approx(m.F1(), 2.0/3.0) {
+		t.Errorf("F1 = %v", m.F1())
+	}
+	zero := PRF{}
+	if !approx(zero.F1(), 0) {
+		t.Errorf("zero F1 = %v", zero.F1())
+	}
+}

@@ -1,0 +1,240 @@
+package psl
+
+import (
+	"fmt"
+	"math"
+)
+
+// ADMMOptions configure MAP inference.
+type ADMMOptions struct {
+	// Rho is the augmented-Lagrangian step size (default 1).
+	Rho float64
+	// MaxIterations bounds the ADMM loop (default 5000).
+	MaxIterations int
+	// Epsilon is the residual convergence threshold (default 1e-5).
+	Epsilon float64
+}
+
+// DefaultADMMOptions returns the defaults used across the repo.
+func DefaultADMMOptions() ADMMOptions {
+	return ADMMOptions{Rho: 1.0, MaxIterations: 5000, Epsilon: 1e-5}
+}
+
+// Solution is the result of MAP inference.
+type Solution struct {
+	X          []float64
+	Objective  float64
+	Iterations int
+	Converged  bool
+	mrf        *MRF
+}
+
+// Value returns the inferred truth value of a ground open atom, or 0
+// when the atom never appeared in a ground potential or constraint.
+func (s *Solution) Value(pred string, args ...string) float64 {
+	i := s.mrf.VarNamed(atomKey(pred, args))
+	if i < 0 {
+		return 0
+	}
+	return s.X[i]
+}
+
+// factor is one ADMM block: a potential or a hard constraint, with its
+// local variable copy and scaled dual.
+type factor struct {
+	pot        Potential
+	constraint Constraint
+	isCons     bool
+	vars       []int // global variable indices (deduped)
+	coefs      []float64
+	konst      float64
+	weight     float64
+	squared    bool
+	y, u       []float64
+	norm2      float64 // Σ coef²
+}
+
+// SolveMAP runs consensus ADMM on the MRF and returns the MAP state.
+// The problem minimised is Σ potentials subject to the hard
+// constraints and x ∈ [0,1]ⁿ; it is convex, so ADMM converges to a
+// global optimum (of the continuous relaxation).
+func SolveMAP(m *MRF, opts ADMMOptions) (*Solution, error) {
+	if opts.Rho <= 0 {
+		opts.Rho = 1
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 5000
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 1e-5
+	}
+	n := m.NumVars()
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = 0.5
+	}
+	factors := buildFactors(m)
+	if len(factors) == 0 {
+		sol := &Solution{X: z, Objective: 0, Converged: true, mrf: m}
+		return sol, nil
+	}
+	// Adjacency: how many factors touch each variable.
+	count := make([]float64, n)
+	for _, f := range factors {
+		for _, v := range f.vars {
+			count[v]++
+		}
+	}
+	rho := opts.Rho
+	var iter int
+	for iter = 0; iter < opts.MaxIterations; iter++ {
+		// Local steps.
+		for _, f := range factors {
+			f.localStep(z, rho)
+		}
+		// Consensus step with box projection.
+		zOld := append([]float64(nil), z...)
+		acc := make([]float64, n)
+		for _, f := range factors {
+			for k, v := range f.vars {
+				acc[v] += f.y[k] + f.u[k]
+			}
+		}
+		for i := 0; i < n; i++ {
+			if count[i] == 0 {
+				continue
+			}
+			zi := acc[i] / count[i]
+			if zi < 0 {
+				zi = 0
+			}
+			if zi > 1 {
+				zi = 1
+			}
+			z[i] = zi
+		}
+		// Dual updates and residuals.
+		primal, dual := 0.0, 0.0
+		for _, f := range factors {
+			for k, v := range f.vars {
+				r := f.y[k] - z[v]
+				f.u[k] += r
+				primal += r * r
+				d := z[v] - zOld[v]
+				dual += d * d
+			}
+		}
+		if math.Sqrt(primal) < opts.Epsilon && math.Sqrt(dual)*rho < opts.Epsilon {
+			iter++
+			break
+		}
+	}
+	sol := &Solution{
+		X:          z,
+		Objective:  m.Objective(z),
+		Iterations: iter,
+		Converged:  iter < opts.MaxIterations,
+		mrf:        m,
+	}
+	if !m.Feasible(z, 1e-3) {
+		// Constraints can lag at loose tolerances; report rather than
+		// fail, callers decide.
+		return sol, fmt.Errorf("psl: ADMM finished with infeasible constraints (iter=%d)", iter)
+	}
+	return sol, nil
+}
+
+func buildFactors(m *MRF) []*factor {
+	factors := make([]*factor, 0, len(m.Potentials)+len(m.Constraints))
+	mk := func(terms []LinTerm, konst float64) *factor {
+		f := &factor{konst: konst}
+		for _, t := range terms {
+			f.vars = append(f.vars, t.Var)
+			f.coefs = append(f.coefs, t.Coef)
+			f.norm2 += t.Coef * t.Coef
+		}
+		f.y = make([]float64, len(f.vars))
+		f.u = make([]float64, len(f.vars))
+		return f
+	}
+	for _, p := range m.Potentials {
+		f := mk(p.Terms, p.Const)
+		f.weight = p.Weight
+		f.squared = p.Squared
+		factors = append(factors, f)
+	}
+	for _, c := range m.Constraints {
+		f := mk(c.Terms, c.Const)
+		f.isCons = true
+		f.constraint = c
+		factors = append(factors, f)
+	}
+	return factors
+}
+
+// localStep minimises the factor's local objective
+// φ(y) + ρ/2·Σ (y_k − z_k + u_k)² in closed form (Bach et al. 2017).
+func (f *factor) localStep(z []float64, rho float64) {
+	// v = z − u is the unconstrained minimiser of the proximal term.
+	v := f.y // reuse storage
+	for k, vi := range f.vars {
+		v[k] = z[vi] - f.u[k]
+	}
+	lin := func(y []float64) float64 {
+		s := f.konst
+		for k := range f.vars {
+			s += f.coefs[k] * y[k]
+		}
+		return s
+	}
+	if f.isCons {
+		// Projection onto {aᵀy + c ≤ 0} (or = 0).
+		val := lin(v)
+		if f.constraint.Cmp == LE && val <= 0 {
+			return
+		}
+		if f.norm2 == 0 {
+			return
+		}
+		t := val / f.norm2
+		for k := range v {
+			v[k] -= t * f.coefs[k]
+		}
+		return
+	}
+	if f.squared {
+		// min w·max(0, aᵀy+c)² + ρ/2‖y−v‖².
+		if lin(v) <= 0 {
+			return
+		}
+		scale := 2 * f.weight * lin(v) / (rho + 2*f.weight*f.norm2)
+		for k := range v {
+			v[k] -= scale * f.coefs[k]
+		}
+		return
+	}
+	// Linear hinge: min w·max(0, aᵀy+c) + ρ/2‖y−v‖².
+	if lin(v) <= 0 {
+		return // hinge inactive at the proximal point
+	}
+	// Try the smooth region aᵀy+c > 0: y = v − (w/ρ)a.
+	shift := f.weight / rho
+	ok := f.konst
+	for k := range f.vars {
+		ok += f.coefs[k] * (v[k] - shift*f.coefs[k])
+	}
+	if ok >= 0 {
+		for k := range v {
+			v[k] -= shift * f.coefs[k]
+		}
+		return
+	}
+	// Kink: project onto the hyperplane aᵀy + c = 0.
+	if f.norm2 == 0 {
+		return
+	}
+	t := lin(v) / f.norm2
+	for k := range v {
+		v[k] -= t * f.coefs[k]
+	}
+}

@@ -1,0 +1,474 @@
+package psl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Database holds the observed atoms (for closed predicates, with soft
+// truth values in [0,1]; unlisted closed atoms are false) and the
+// registered target atoms of open predicates (the decision variables).
+type Database struct {
+	obs           map[string]float64 // atom key -> value
+	obsByPred     map[string][][]string
+	targets       map[string]bool
+	targetsByPred map[string][][]string
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{
+		obs:           make(map[string]float64),
+		obsByPred:     make(map[string][][]string),
+		targets:       make(map[string]bool),
+		targetsByPred: make(map[string][][]string),
+	}
+}
+
+func atomKey(pred string, args []string) string {
+	return pred + "(" + strings.Join(args, "\x00") + ")"
+}
+
+// Observe records a soft observation for a closed predicate's atom.
+func (db *Database) Observe(pred string, args []string, value float64) {
+	if value < 0 {
+		value = 0
+	}
+	if value > 1 {
+		value = 1
+	}
+	k := atomKey(pred, args)
+	if _, dup := db.obs[k]; !dup {
+		db.obsByPred[pred] = append(db.obsByPred[pred], append([]string(nil), args...))
+	}
+	db.obs[k] = value
+}
+
+// AddTarget registers an open-predicate atom as a decision variable.
+func (db *Database) AddTarget(pred string, args ...string) {
+	k := atomKey(pred, args)
+	if db.targets[k] {
+		return
+	}
+	db.targets[k] = true
+	db.targetsByPred[pred] = append(db.targetsByPred[pred], append([]string(nil), args...))
+}
+
+// ObservedValue returns the observation (0 for unlisted atoms of
+// closed predicates).
+func (db *Database) ObservedValue(pred string, args []string) float64 {
+	return db.obs[atomKey(pred, args)]
+}
+
+// LinTerm is one coefficient·variable term of a linear expression over
+// the MRF's variables.
+type LinTerm struct {
+	Var  int
+	Coef float64
+}
+
+// Potential is one hinge-loss potential w·max(0, Σ coefᵢ·xᵢ + c)^p
+// with p ∈ {1,2}.
+type Potential struct {
+	Weight  float64
+	Squared bool
+	Terms   []LinTerm
+	Const   float64
+	// RuleIndex records which program rule grounded this potential
+	// (-1 for potentials built directly). Weight learning groups
+	// potentials by rule through it.
+	RuleIndex int
+}
+
+// Distance evaluates the potential's unweighted distance to
+// satisfaction max(0, Σ coef·x + c)^p at the assignment x.
+func (p Potential) Distance(x []float64) float64 {
+	v := p.Const
+	for _, t := range p.Terms {
+		v += t.Coef * x[t.Var]
+	}
+	if v <= 0 {
+		return 0
+	}
+	if p.Squared {
+		return v * v
+	}
+	return v
+}
+
+// Cmp distinguishes ≤ from = in linear constraints.
+type Cmp int
+
+const (
+	// LE is Σ terms + c ≤ 0.
+	LE Cmp = iota
+	// EQ is Σ terms + c = 0.
+	EQ
+)
+
+// Constraint is one hard linear constraint over the MRF's variables.
+type Constraint struct {
+	Terms []LinTerm
+	Const float64
+	Cmp   Cmp
+}
+
+// MRF is a ground hinge-loss Markov random field over box-constrained
+// variables x ∈ [0,1]ⁿ.
+type MRF struct {
+	varNames    []string
+	varIndex    map[string]int
+	Potentials  []Potential
+	Constraints []Constraint
+}
+
+// NewMRF returns an empty MRF.
+func NewMRF() *MRF {
+	return &MRF{varIndex: make(map[string]int)}
+}
+
+// NumVars returns the number of variables.
+func (m *MRF) NumVars() int { return len(m.varNames) }
+
+// Var returns the index of the named variable, creating it if new.
+func (m *MRF) Var(name string) int {
+	if i, ok := m.varIndex[name]; ok {
+		return i
+	}
+	i := len(m.varNames)
+	m.varIndex[name] = i
+	m.varNames = append(m.varNames, name)
+	return i
+}
+
+// VarNamed returns the index of the named variable, or -1.
+func (m *MRF) VarNamed(name string) int {
+	if i, ok := m.varIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// AtomVar returns the variable index of a ground open atom.
+func (m *MRF) AtomVar(pred string, args ...string) int {
+	return m.Var(atomKey(pred, args))
+}
+
+// AddPotential appends a hinge potential; potentials with no variable
+// terms or that can never be positive are dropped.
+func (m *MRF) AddPotential(p Potential) {
+	if len(p.Terms) == 0 || p.Weight <= 0 {
+		return
+	}
+	maxVal := p.Const
+	for _, t := range p.Terms {
+		if t.Coef > 0 {
+			maxVal += t.Coef
+		}
+	}
+	if maxVal <= 0 {
+		return
+	}
+	m.Potentials = append(m.Potentials, p)
+}
+
+// AddConstraint appends a hard linear constraint.
+func (m *MRF) AddConstraint(c Constraint) error {
+	if len(c.Terms) == 0 {
+		sat := c.Const <= 1e-9
+		if c.Cmp == EQ {
+			sat = math.Abs(c.Const) <= 1e-9
+		}
+		if !sat {
+			return fmt.Errorf("psl: constant constraint violated (const=%g)", c.Const)
+		}
+		return nil
+	}
+	m.Constraints = append(m.Constraints, c)
+	return nil
+}
+
+// Objective evaluates Σ potentials at x (ignoring constraints).
+func (m *MRF) Objective(x []float64) float64 {
+	total := 0.0
+	for _, p := range m.Potentials {
+		v := p.Const
+		for _, t := range p.Terms {
+			v += t.Coef * x[t.Var]
+		}
+		if v <= 0 {
+			continue
+		}
+		if p.Squared {
+			total += p.Weight * v * v
+		} else {
+			total += p.Weight * v
+		}
+	}
+	return total
+}
+
+// Feasible reports whether x satisfies all hard constraints within tol.
+func (m *MRF) Feasible(x []float64, tol float64) bool {
+	for _, c := range m.Constraints {
+		v := c.Const
+		for _, t := range c.Terms {
+			v += t.Coef * x[t.Var]
+		}
+		if c.Cmp == LE && v > tol {
+			return false
+		}
+		if c.Cmp == EQ && math.Abs(v) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Ground grounds the program against the database, producing the MRF.
+// Logical rules become hinge potentials (hard rules become
+// constraints) using the standard Łukasiewicz relaxation: the distance
+// to satisfaction of b₁∧…∧bₖ → h₁∨…∨hₘ is
+// max(0, Σᵢ I(bᵢ) − (k−1) − Σⱼ I(hⱼ)).
+func Ground(prog *Program, db *Database) (*MRF, error) {
+	mrf := NewMRF()
+	for ri, rule := range prog.rules {
+		if err := groundRule(prog, db, mrf, rule, ri); err != nil {
+			return nil, err
+		}
+	}
+	return mrf, nil
+}
+
+// groundRule enumerates bindings and emits potentials/constraints.
+func groundRule(prog *Program, db *Database, mrf *MRF, rule Rule, ruleIndex int) error {
+	// Literal processing order: positive closed body literals first
+	// (join over observations), then open literals (join over
+	// targets), then the rest (fully bound by now).
+	all := make([]Literal, 0, len(rule.Body)+len(rule.Head))
+	inHead := make([]bool, 0, cap(all))
+	for _, l := range rule.Body {
+		all = append(all, l)
+		inHead = append(inHead, false)
+	}
+	for _, l := range rule.Head {
+		all = append(all, l)
+		inHead = append(inHead, true)
+	}
+	type litRef struct {
+		lit  Literal
+		head bool
+	}
+	var anchors []litRef // literals used to bind variables
+	var rest []litRef
+	for i, l := range all {
+		pr, _ := prog.Predicate(l.Pred)
+		if !l.Negated && pr.Open == Closed && !inHead[i] {
+			anchors = append(anchors, litRef{l, inHead[i]})
+		} else if pr.Open == Open {
+			anchors = append(anchors, litRef{l, inHead[i]})
+		} else {
+			rest = append(rest, litRef{l, inHead[i]})
+		}
+	}
+	_ = rest
+
+	bindings := []map[string]string{{}}
+	for _, a := range anchors {
+		pr, _ := prog.Predicate(a.lit.Pred)
+		var rows [][]string
+		if pr.Open == Closed {
+			rows = db.obsByPred[a.lit.Pred]
+		} else {
+			rows = db.targetsByPred[a.lit.Pred]
+		}
+		var next []map[string]string
+		for _, b := range bindings {
+			if ground, ok := substitute(a.lit, b); ok {
+				// Fully bound already: nothing to join, but for closed
+				// positive body literals require presence is NOT needed
+				// (soft value may be 0, pruned later). Keep binding.
+				_ = ground
+				next = append(next, b)
+				continue
+			}
+			for _, row := range rows {
+				if nb, ok := unify(a.lit, row, b); ok {
+					next = append(next, nb)
+				}
+			}
+		}
+		bindings = dedupBindings(next)
+		if len(bindings) == 0 {
+			return nil
+		}
+	}
+
+	for _, b := range bindings {
+		if err := emitGround(prog, db, mrf, rule, ruleIndex, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// substitute applies binding b to the literal; ok is false when some
+// variable is unbound.
+func substitute(l Literal, b map[string]string) ([]string, bool) {
+	out := make([]string, len(l.Terms))
+	for i, t := range l.Terms {
+		if t.IsConst {
+			out[i] = t.Name
+			continue
+		}
+		v, ok := b[t.Name]
+		if !ok {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
+// unify matches the literal's terms against a row, extending b.
+func unify(l Literal, row []string, b map[string]string) (map[string]string, bool) {
+	if len(l.Terms) != len(row) {
+		return nil, false
+	}
+	nb := b
+	copied := false
+	for i, t := range l.Terms {
+		if t.IsConst {
+			if t.Name != row[i] {
+				return nil, false
+			}
+			continue
+		}
+		if v, ok := nb[t.Name]; ok {
+			if v != row[i] {
+				return nil, false
+			}
+			continue
+		}
+		if !copied {
+			nb = make(map[string]string, len(b)+2)
+			for k, v := range b {
+				nb[k] = v
+			}
+			copied = true
+		}
+		nb[t.Name] = row[i]
+	}
+	if !copied {
+		nb = make(map[string]string, len(b))
+		for k, v := range b {
+			nb[k] = v
+		}
+	}
+	return nb, true
+}
+
+func dedupBindings(bs []map[string]string) []map[string]string {
+	seen := make(map[string]bool, len(bs))
+	out := bs[:0]
+	for _, b := range bs {
+		keys := make([]string, 0, len(b))
+		for k := range b {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			sb.WriteString(k)
+			sb.WriteByte('=')
+			sb.WriteString(b[k])
+			sb.WriteByte(';')
+		}
+		sig := sb.String()
+		if !seen[sig] {
+			seen[sig] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// emitGround instantiates the rule under binding b and adds the
+// resulting potential or constraint.
+func emitGround(prog *Program, db *Database, mrf *MRF, rule Rule, ruleIndex int, b map[string]string) error {
+	var terms []LinTerm
+	c := 0.0
+	if len(rule.Body) == 0 {
+		// Prior: distance = 1 − I(head literal); for a negated literal
+		// that is the raw variable value.
+		c = 1
+	} else {
+		c = -float64(len(rule.Body) - 1)
+	}
+	add := func(l Literal, sign float64) error {
+		args, ok := substitute(l, b)
+		if !ok {
+			return fmt.Errorf("psl: rule %s: unbound variable at emit time", rule)
+		}
+		pr, _ := prog.Predicate(l.Pred)
+		// I(literal) = v or 1−v. The literal enters the distance with
+		// the given sign (body +, head −).
+		if pr.Open == Closed {
+			v := db.ObservedValue(l.Pred, args)
+			if l.Negated {
+				v = 1 - v
+			}
+			c += sign * v
+			return nil
+		}
+		vi := mrf.AtomVar(l.Pred, args...)
+		if l.Negated {
+			c += sign * 1
+			terms = append(terms, LinTerm{Var: vi, Coef: -sign})
+		} else {
+			terms = append(terms, LinTerm{Var: vi, Coef: sign})
+		}
+		return nil
+	}
+	for _, l := range rule.Body {
+		if err := add(l, +1); err != nil {
+			return err
+		}
+	}
+	for _, l := range rule.Head {
+		if err := add(l, -1); err != nil {
+			return err
+		}
+	}
+	if len(rule.Body) == 0 {
+		// Prior form: distance = 1 − I(L) = 1 + (−I(L)); add() already
+		// contributed −I(L) because priors are stored as heads.
+	}
+	terms = mergeTerms(terms)
+	if rule.Hard {
+		return mrf.AddConstraint(Constraint{Terms: terms, Const: c, Cmp: LE})
+	}
+	mrf.AddPotential(Potential{Weight: rule.Weight, Squared: rule.Squared, Terms: terms, Const: c, RuleIndex: ruleIndex})
+	return nil
+}
+
+// mergeTerms sums duplicate variable coefficients and drops zeros.
+func mergeTerms(ts []LinTerm) []LinTerm {
+	sum := make(map[int]float64, len(ts))
+	order := make([]int, 0, len(ts))
+	for _, t := range ts {
+		if _, ok := sum[t.Var]; !ok {
+			order = append(order, t.Var)
+		}
+		sum[t.Var] += t.Coef
+	}
+	out := make([]LinTerm, 0, len(order))
+	for _, v := range order {
+		if math.Abs(sum[v]) > 1e-12 {
+			out = append(out, LinTerm{Var: v, Coef: sum[v]})
+		}
+	}
+	return out
+}

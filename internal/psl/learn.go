@@ -1,0 +1,168 @@
+package psl
+
+// Weight learning for HL-MRFs by approximate maximum likelihood with
+// MAP-based expectations (the "MPE" learning rule of Bach et al.):
+// for energy E(y) = Σ_r w_r Φ_r(y), the log-likelihood gradient wrt
+// w_r is E_P[Φ_r] − Φ_r(y*), and the expectation is approximated by
+// the MAP state under the current weights, giving the perceptron-style
+// update
+//
+//	w_r ← max(ε, w_r − η·(Φ_r(y*) − Φ_r(y_MAP)))
+//
+// where Φ_r(y) sums the rule's ground potentials' distances to
+// satisfaction at y. Intuition: if the truth violates rule r more
+// than the MAP state does, the rule is too strong for the data —
+// lower its weight; if the MAP state violates it more, raise it.
+//
+// The paper lists weight learning for the selection objective as an
+// extension; see internal/core's LearnWeights for that use.
+
+import "fmt"
+
+// LearnOptions configure weight learning.
+type LearnOptions struct {
+	// Iterations of MAP-solve + gradient step (default 25).
+	Iterations int
+	// LearnRate is the step size η (default 0.1); it is scaled per
+	// rule by the number of ground potentials so that heavily
+	// grounded rules do not dominate.
+	LearnRate float64
+	// MinWeight floors the weights (default 0.01); weights cannot
+	// become negative in an HL-MRF.
+	MinWeight float64
+	// ADMM configures the inner MAP solves.
+	ADMM ADMMOptions
+}
+
+// DefaultLearnOptions returns the package defaults.
+func DefaultLearnOptions() LearnOptions {
+	return LearnOptions{
+		Iterations: 25,
+		LearnRate:  0.1,
+		MinWeight:  0.01,
+		ADMM:       DefaultADMMOptions(),
+	}
+}
+
+// Example is one training example: a database (the evidence) plus the
+// true values of the open atoms. Open atoms absent from Truth default
+// to 0 (closed-world labels).
+type Example struct {
+	DB    *Database
+	Truth []LabeledAtom
+}
+
+// LabeledAtom is a labelled ground atom.
+type LabeledAtom struct {
+	Pred  string
+	Args  []string
+	Value float64
+}
+
+// LearnWeights learns the program's rule weights from the examples
+// and returns a copy of the program with updated weights. Hard rules
+// are left untouched.
+func LearnWeights(prog *Program, examples []Example, opts LearnOptions) (*Program, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("psl: no training examples")
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 25
+	}
+	if opts.LearnRate <= 0 {
+		opts.LearnRate = 0.1
+	}
+	if opts.MinWeight <= 0 {
+		opts.MinWeight = 0.01
+	}
+
+	// Work on a copy.
+	learned := NewProgram()
+	for name, pr := range prog.preds {
+		learned.preds[name] = pr
+	}
+	learned.rules = append([]Rule(nil), prog.rules...)
+
+	// Pre-ground every example once per iteration (weights change the
+	// potentials' Weight field only; structure is stable, so ground
+	// once and re-weight in place).
+	type grounded struct {
+		mrf   *MRF
+		truth []float64
+	}
+	gs := make([]grounded, len(examples))
+	for i, ex := range examples {
+		mrf, err := Ground(learned, ex.DB)
+		if err != nil {
+			return nil, err
+		}
+		truth := make([]float64, mrf.NumVars())
+		for _, l := range ex.Truth {
+			if vi := mrf.VarNamed(atomKey(l.Pred, l.Args)); vi >= 0 {
+				truth[vi] = clamp01(l.Value)
+			}
+		}
+		gs[i] = grounded{mrf: mrf, truth: truth}
+	}
+
+	nRules := len(learned.rules)
+	for iter := 0; iter < opts.Iterations; iter++ {
+		gradTruth := make([]float64, nRules)
+		gradMAP := make([]float64, nRules)
+		counts := make([]float64, nRules)
+		for i := range gs {
+			m := gs[i].mrf
+			// Refresh potential weights from the current rules.
+			for pi := range m.Potentials {
+				ri := m.Potentials[pi].RuleIndex
+				if ri >= 0 && ri < nRules && !learned.rules[ri].Hard {
+					m.Potentials[pi].Weight = learned.rules[ri].Weight
+				}
+			}
+			sol, err := SolveMAP(m, opts.ADMM)
+			if err != nil && sol == nil {
+				return nil, err
+			}
+			for pi := range m.Potentials {
+				p := &m.Potentials[pi]
+				if p.RuleIndex < 0 || p.RuleIndex >= nRules {
+					continue
+				}
+				gradTruth[p.RuleIndex] += p.Distance(gs[i].truth)
+				gradMAP[p.RuleIndex] += p.Distance(sol.X)
+				counts[p.RuleIndex]++
+			}
+		}
+		moved := 0.0
+		for r := range learned.rules {
+			if learned.rules[r].Hard || counts[r] == 0 {
+				continue
+			}
+			step := opts.LearnRate * (gradTruth[r] - gradMAP[r]) / counts[r]
+			w := learned.rules[r].Weight - step
+			if w < opts.MinWeight {
+				w = opts.MinWeight
+			}
+			if d := w - learned.rules[r].Weight; d > 0 {
+				moved += d
+			} else {
+				moved -= d
+			}
+			learned.rules[r].Weight = w
+		}
+		if moved < 1e-6 {
+			break
+		}
+	}
+	return learned, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,151 @@
+package psl
+
+import "testing"
+
+// Two competing priors on A: "A should be true" vs "A should be
+// false", equal initial weights. Training labels say A is true, so
+// learning must strengthen the first (or weaken the second) until the
+// MAP state flips to A = 1.
+func TestLearnWeightsFlipsPrior(t *testing.T) {
+	prog := NewProgram()
+	prog.MustAddPredicate("A", 1, Open)
+	prog.MustAddRule("1.0: A(X)")
+	prog.MustAddRule("1.2: !A(X)") // initially stronger: MAP says A=0
+
+	db := NewDatabase()
+	db.AddTarget("A", "x")
+
+	// Check the initial MAP is A=0.
+	m, err := Ground(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveMAP(m, DefaultADMMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value("A", "x") > 0.1 {
+		t.Fatalf("precondition: initial MAP A = %v, want ~0", sol.Value("A", "x"))
+	}
+
+	ex := Example{DB: db, Truth: []LabeledAtom{{Pred: "A", Args: []string{"x"}, Value: 1}}}
+	learned, err := LearnWeights(prog, []Example{ex}, DefaultLearnOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Ground(learned, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol2, err := SolveMAP(m2, DefaultADMMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Value("A", "x") < 0.9 {
+		t.Errorf("learned MAP A = %v, want ~1 (weights: %v, %v)",
+			sol2.Value("A", "x"), learned.rules[0].Weight, learned.rules[1].Weight)
+	}
+}
+
+// Learning from labels that already match the MAP state should leave
+// weights (nearly) unchanged.
+func TestLearnWeightsStableAtOptimum(t *testing.T) {
+	prog := NewProgram()
+	prog.MustAddPredicate("A", 1, Open)
+	prog.MustAddRule("2.0: A(X)")
+	prog.MustAddRule("0.5: !A(X)")
+	db := NewDatabase()
+	db.AddTarget("A", "x")
+	ex := Example{DB: db, Truth: []LabeledAtom{{Pred: "A", Args: []string{"x"}, Value: 1}}}
+	learned, err := LearnWeights(prog, []Example{ex}, DefaultLearnOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := learned.rules[0].Weight - 2.0; d > 0.3 || d < -0.3 {
+		t.Errorf("weight drifted: %v", learned.rules[0].Weight)
+	}
+}
+
+// Weights must never go below the floor, and hard rules are untouched.
+func TestLearnWeightsFloorsAndHardRules(t *testing.T) {
+	prog := NewProgram()
+	prog.MustAddPredicate("Obs", 1, Closed)
+	prog.MustAddPredicate("A", 1, Open)
+	prog.MustAddRule("1.0: A(X)") // contradicted by labels
+	prog.MustAddRule("hard: Obs(X) -> A(X)")
+	db := NewDatabase()
+	db.Observe("Obs", []string{"x"}, 0)
+	db.AddTarget("A", "x")
+	ex := Example{DB: db, Truth: []LabeledAtom{{Pred: "A", Args: []string{"x"}, Value: 0}}}
+	opts := DefaultLearnOptions()
+	opts.Iterations = 100
+	opts.LearnRate = 1
+	learned, err := LearnWeights(prog, []Example{ex}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learned.rules[0].Weight < opts.MinWeight-1e-12 {
+		t.Errorf("weight below floor: %v", learned.rules[0].Weight)
+	}
+	if !learned.rules[1].Hard {
+		t.Error("hard rule lost its flag")
+	}
+}
+
+func TestLearnWeightsValidation(t *testing.T) {
+	prog := NewProgram()
+	if _, err := LearnWeights(prog, nil, DefaultLearnOptions()); err == nil {
+		t.Error("expected error for empty training set")
+	}
+}
+
+// Multi-example learning: evidence-dependent labels. Rule
+// "Cue(X) -> A(X)" should gain weight relative to the blanket prior
+// "!A(X)" when labels follow the cue.
+func TestLearnWeightsFromEvidence(t *testing.T) {
+	prog := NewProgram()
+	prog.MustAddPredicate("Cue", 1, Closed)
+	prog.MustAddPredicate("A", 1, Open)
+	prog.MustAddRule("0.5: Cue(X) -> A(X)")
+	prog.MustAddRule("1.0: !A(X)")
+
+	var examples []Example
+	for i, cued := range []bool{true, false, true} {
+		db := NewDatabase()
+		name := string(rune('a' + i))
+		v := 0.0
+		if cued {
+			v = 1
+		}
+		db.Observe("Cue", []string{name}, v)
+		db.AddTarget("A", name)
+		examples = append(examples, Example{
+			DB:    db,
+			Truth: []LabeledAtom{{Pred: "A", Args: []string{name}, Value: v}},
+		})
+	}
+	learned, err := LearnWeights(prog, examples, DefaultLearnOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learned.rules[0].Weight <= learned.rules[1].Weight {
+		t.Errorf("cue rule (%v) should outweigh the prior (%v)",
+			learned.rules[0].Weight, learned.rules[1].Weight)
+	}
+	// And the learned program must predict A for a cued atom.
+	db := NewDatabase()
+	db.Observe("Cue", []string{"new"}, 1)
+	db.AddTarget("A", "new")
+	m, err := Ground(learned, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveMAP(m, DefaultADMMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value("A", "new") < 0.9 {
+		t.Errorf("learned program predicts A = %v for cued atom", sol.Value("A", "new"))
+	}
+}

@@ -1,0 +1,177 @@
+// Package query implements conjunctive queries over instances and
+// certain-answer semantics for data exchange: the reason one selects
+// a schema mapping in the first place is to exchange data and answer
+// queries over the target, and the standard semantics (Fagin,
+// Kolaitis, Miller, Popa) is: a tuple is a *certain answer* iff it
+// consists of constants only and is an answer over the canonical
+// universal solution under naive evaluation.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"schemamap/internal/chase"
+	"schemamap/internal/data"
+	"schemamap/internal/tgd"
+)
+
+// CQ is a conjunctive query: head variables projected from a
+// conjunction of atoms (shared variables are joins; constants are
+// selections).
+type CQ struct {
+	// Head lists the projected variables, in output order.
+	Head []string
+	// Body is the conjunctive pattern, reusing the tgd atom AST.
+	Body []tgd.Atom
+}
+
+// Parse parses "q(x, y) :- r(x, z), s(z, y)". The head relation name
+// is ignored; constants are quoted as in the tgd DSL.
+func Parse(src string) (*CQ, error) {
+	parts := strings.SplitN(src, ":-", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("query: %q missing ':-'", src)
+	}
+	head, err := tgd.Parse(dummyBody + " -> " + strings.TrimSpace(parts[0]))
+	if err != nil {
+		return nil, fmt.Errorf("query: bad head in %q: %w", src, err)
+	}
+	body, err := tgd.Parse(strings.TrimSpace(parts[1]) + " -> " + dummyBody)
+	if err != nil {
+		return nil, fmt.Errorf("query: bad body in %q: %w", src, err)
+	}
+	q := &CQ{Body: body.Body}
+	for _, t := range head.Head[0].Args {
+		if t.IsConst {
+			return nil, fmt.Errorf("query: %q has a constant in the head", src)
+		}
+		q.Head = append(q.Head, t.Name)
+	}
+	return q, q.Validate()
+}
+
+// dummyBody anchors the tgd parser when reusing it for query parts.
+const dummyBody = "dummy_(unused_)"
+
+// MustParse is Parse but panics on error.
+func MustParse(src string) *CQ {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Validate checks query safety: every head variable must occur in the
+// body.
+func (q *CQ) Validate() error {
+	if len(q.Body) == 0 {
+		return fmt.Errorf("query: empty body")
+	}
+	inBody := make(map[string]bool)
+	for _, a := range q.Body {
+		for _, v := range a.Vars() {
+			inBody[v] = true
+		}
+	}
+	for _, v := range q.Head {
+		if !inBody[v] {
+			return fmt.Errorf("query: head variable %s not bound in body", v)
+		}
+	}
+	return nil
+}
+
+// String renders the query in its input syntax.
+func (q *CQ) String() string {
+	atoms := make([]string, len(q.Body))
+	for i, a := range q.Body {
+		atoms[i] = a.String()
+	}
+	return fmt.Sprintf("q(%s) :- %s", strings.Join(q.Head, ", "), strings.Join(atoms, ", "))
+}
+
+// Answer is one result tuple (projected values in head order).
+type Answer []data.Value
+
+// Key returns a canonical identity for deduplication.
+func (a Answer) Key() string {
+	parts := make([]string, len(a))
+	for i, v := range a {
+		if v.IsNull() {
+			parts[i] = "\x00" + v.Name()
+		} else {
+			parts[i] = v.Name()
+		}
+	}
+	return strings.Join(parts, "\x01")
+}
+
+// HasNull reports whether the answer contains a labelled null.
+func (a Answer) HasNull() bool {
+	for _, v := range a {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the answer as a comma-separated list.
+func (a Answer) String() string {
+	parts := make([]string, len(a))
+	for i, v := range a {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Eval evaluates the query naively over the instance: labelled nulls
+// are treated as ordinary values (they join only with themselves).
+// Answers are deduplicated; order follows the scan order and is
+// deterministic for a fixed instance.
+func (q *CQ) Eval(in *data.Instance) []Answer {
+	var out []Answer
+	seen := make(map[string]bool)
+	for _, b := range chase.MatchBody(q.Body, in) {
+		ans := make(Answer, len(q.Head))
+		for i, v := range q.Head {
+			ans[i] = b[v]
+		}
+		k := ans.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, ans)
+		}
+	}
+	return out
+}
+
+// CertainAnswers computes the certain answers of q over the target of
+// the data exchange (I, M): evaluate q naively over the canonical
+// universal solution chase(I, M) and keep the null-free answers. For
+// unions of conjunctive queries evaluated per-CQ this is exactly the
+// classical certain-answer semantics.
+func CertainAnswers(q *CQ, I *data.Instance, m tgd.Mapping) []Answer {
+	K := chase.Chase(I, m, nil).Instance
+	var out []Answer
+	for _, a := range q.Eval(K) {
+		if !a.HasNull() {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// EvalOverSolution is like CertainAnswers but reuses an existing
+// universal solution (e.g. the core) instead of re-chasing.
+func EvalOverSolution(q *CQ, K *data.Instance) []Answer {
+	var out []Answer
+	for _, a := range q.Eval(K) {
+		if !a.HasNull() {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package query
+
+import (
+	"testing"
+
+	"schemamap/internal/chase"
+	"schemamap/internal/data"
+	"schemamap/internal/tgd"
+)
+
+func TestParseAndString(t *testing.T) {
+	q := MustParse("q(x, y) :- r(x, z), s(z, y)")
+	if len(q.Head) != 2 || len(q.Body) != 2 {
+		t.Fatalf("shape: %+v", q)
+	}
+	if q.String() != "q(x, y) :- r(x, z), s(z, y)" {
+		t.Errorf("String = %q", q.String())
+	}
+	// Round trip.
+	q2 := MustParse(q.String())
+	if q2.String() != q.String() {
+		t.Error("round trip changed the query")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"q(x) r(x)",      // no :-
+		"q(x) :- ",       // empty body
+		"q(x) :- r(y)",   // unsafe head
+		"q('c') :- r(x)", // constant head
+		"q(x :- r(x)",    // syntax
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestEvalJoinAndSelection(t *testing.T) {
+	in := data.NewInstance()
+	in.Add(data.NewTuple("r", "a", "1"))
+	in.Add(data.NewTuple("r", "b", "2"))
+	in.Add(data.NewTuple("s", "1", "x"))
+	in.Add(data.NewTuple("s", "2", "y"))
+	in.Add(data.NewTuple("s", "3", "z"))
+
+	q := MustParse("q(p, out) :- r(p, k), s(k, out)")
+	got := q.Eval(in)
+	if len(got) != 2 {
+		t.Fatalf("answers = %v", got)
+	}
+
+	sel := MustParse("q(out) :- r('a', k), s(k, out)")
+	got = sel.Eval(in)
+	if len(got) != 1 || got[0][0].Name() != "x" {
+		t.Errorf("selection answers = %v", got)
+	}
+}
+
+func TestEvalDeduplicates(t *testing.T) {
+	in := data.NewInstance()
+	in.Add(data.NewTuple("r", "a", "1"))
+	in.Add(data.NewTuple("r", "a", "2"))
+	q := MustParse("q(x) :- r(x, y)")
+	if got := q.Eval(in); len(got) != 1 {
+		t.Errorf("answers = %v, want 1 after dedup", got)
+	}
+}
+
+func TestCertainAnswersDropNulls(t *testing.T) {
+	// Exchange proj → task(p,e,O) & org(O,c); the task-org join goes
+	// through a labelled null, so queries returning the null are not
+	// certain, but joins *through* it are.
+	I := data.NewInstance()
+	I.Add(data.NewTuple("proj", "ML", "Alice", "SAP"))
+	m := tgd.Mapping{tgd.MustParse("proj(p,e,c) -> task(p,e,O) & org(O,c)")}
+
+	// Who works for which company? Join through the null: certain.
+	q := MustParse("q(e, c) :- task(p, e, o), org(o, c)")
+	got := CertainAnswers(q, I, m)
+	if len(got) != 1 || got[0][0].Name() != "Alice" || got[0][1].Name() != "SAP" {
+		t.Fatalf("certain answers = %v", got)
+	}
+
+	// What org ids exist? Only a null: no certain answers.
+	q = MustParse("q(o) :- org(o, c)")
+	if got := CertainAnswers(q, I, m); len(got) != 0 {
+		t.Errorf("null answer leaked: %v", got)
+	}
+}
+
+func TestEvalOverCoreMatchesChase(t *testing.T) {
+	// Certain answers over the core equal those over the full chase.
+	I := data.NewInstance()
+	I.Add(data.NewTuple("proj", "ML", "Alice", "SAP"))
+	I.Add(data.NewTuple("proj", "DB", "Bob", "IBM"))
+	m := tgd.Mapping{
+		tgd.MustParse("proj(p,e,c) -> task(p,e,O)"),
+		tgd.MustParse("proj(p,e,c) -> task(p,e,O) & org(O,c)"),
+	}
+	res := chase.Chase(I, m, nil)
+	q := MustParse("q(e, c) :- task(p, e, o), org(o, c)")
+	overChase := EvalOverSolution(q, res.Instance)
+	overCore := EvalOverSolution(q, res.Core())
+	if len(overChase) != len(overCore) {
+		t.Fatalf("chase answers %v vs core answers %v", overChase, overCore)
+	}
+	seen := map[string]bool{}
+	for _, a := range overChase {
+		seen[a.Key()] = true
+	}
+	for _, a := range overCore {
+		if !seen[a.Key()] {
+			t.Errorf("core-only answer %v", a)
+		}
+	}
+}
+
+func TestAnswerHelpers(t *testing.T) {
+	a := Answer{data.Const("x"), data.NullValue("N")}
+	if !a.HasNull() {
+		t.Error("HasNull broken")
+	}
+	if a.String() != "(x, ⊥N)" {
+		t.Errorf("String = %q", a.String())
+	}
+	b := Answer{data.Const("x"), data.Const("N")}
+	if a.Key() == b.Key() {
+		t.Error("null and const with same name collide")
+	}
+}

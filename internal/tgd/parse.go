@@ -1,0 +1,179 @@
+package tgd
+
+// DSL parser for st tgds. Grammar (whitespace-insensitive):
+//
+//	tgd   := atoms "->" atoms
+//	atoms := atom ("&" atom)*  |  atom ("," atom)*   (between ')' and ident)
+//	atom  := ident "(" term ("," term)* ")"
+//	term  := ident            (variable)
+//	       | "'" text "'"     (constant)
+//	ident := [A-Za-z_][A-Za-z0-9_]*
+//
+// Example: proj(p, e, c) -> task(p, e, O) & org(O, c)
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses one tgd from its DSL form.
+func Parse(s string) (*TGD, error) {
+	p := &parser{src: s}
+	body, err := p.atoms()
+	if err != nil {
+		return nil, fmt.Errorf("tgd: parse %q: %w", s, err)
+	}
+	if !p.eat("->") {
+		return nil, fmt.Errorf("tgd: parse %q: expected '->' at offset %d", s, p.pos)
+	}
+	head, err := p.atoms()
+	if err != nil {
+		return nil, fmt.Errorf("tgd: parse %q: %w", s, err)
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("tgd: parse %q: trailing input at offset %d", s, p.pos)
+	}
+	return &TGD{Body: body, Head: head}, nil
+}
+
+// MustParse is Parse but panics on error; for tests and examples.
+func MustParse(s string) *TGD {
+	d, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ParseMapping parses a newline-separated list of tgds, ignoring blank
+// lines and lines starting with '#'.
+func ParseMapping(s string) (Mapping, error) {
+	var m Mapping
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		d, err := Parse(line)
+		if err != nil {
+			return nil, err
+		}
+		m = append(m, d)
+	}
+	return m, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) eat(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) peekIdent() bool {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return false
+	}
+	c := rune(p.src[p.pos])
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected identifier at offset %d", p.pos)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) atoms() ([]Atom, error) {
+	var out []Atom
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		// Separators: '&' always continues; ',' continues when an
+		// identifier follows (conjunction written with commas).
+		if p.eat("&") {
+			continue
+		}
+		save := p.pos
+		if p.eat(",") {
+			if p.peekIdent() {
+				continue
+			}
+			p.pos = save
+		}
+		return out, nil
+	}
+}
+
+func (p *parser) atom() (Atom, error) {
+	rel, err := p.ident()
+	if err != nil {
+		return Atom{}, err
+	}
+	if !p.eat("(") {
+		return Atom{}, fmt.Errorf("expected '(' after %s at offset %d", rel, p.pos)
+	}
+	var args []Term
+	for {
+		t, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		args = append(args, t)
+		if p.eat(",") {
+			continue
+		}
+		if p.eat(")") {
+			return Atom{Rel: rel, Args: args}, nil
+		}
+		return Atom{}, fmt.Errorf("expected ',' or ')' in atom %s at offset %d", rel, p.pos)
+	}
+}
+
+func (p *parser) term() (Term, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '\'' {
+		end := strings.IndexByte(p.src[p.pos+1:], '\'')
+		if end < 0 {
+			return Term{}, fmt.Errorf("unterminated constant at offset %d", p.pos)
+		}
+		c := p.src[p.pos+1 : p.pos+1+end]
+		p.pos += end + 2
+		return Const(c), nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return Term{}, err
+	}
+	return Var(name), nil
+}

@@ -1,0 +1,110 @@
+package schemamap_test
+
+// Facade tests for the pipeline API: match → candidates → select →
+// exchange → query, plus weight learning.
+
+import (
+	"testing"
+
+	schemamap "schemamap"
+)
+
+func hrPipeline(t *testing.T) (src, tgt *schemamap.Schema, I, J *schemamap.Instance) {
+	t.Helper()
+	src = schemamap.NewSchema("hr")
+	src.MustAddRelation(schemamap.NewRelation("employee", "name", "dept"))
+	tgt = schemamap.NewSchema("dir")
+	tgt.MustAddRelation(schemamap.NewRelation("person", "name", "deptid"))
+	tgt.MustAddRelation(schemamap.NewRelation("department", "deptid", "dept"))
+	tgt.MustAddFK(schemamap.ForeignKey{FromRel: "person", FromCols: []int{1}, ToRel: "department", ToCols: []int{0}})
+
+	I = schemamap.NewInstance()
+	J = schemamap.NewInstance()
+	rows := [][2]string{{"Alice", "Research"}, {"Bob", "Sales"}, {"Carol", "Research"}, {"Dan", "Support"}}
+	depts := map[string]string{"Research": "d1", "Sales": "d2", "Support": "d3"}
+	for _, r := range rows {
+		I.Add(schemamap.NewTuple("employee", r[0], r[1]))
+		J.Add(schemamap.NewTuple("person", r[0], depts[r[1]]))
+		J.Add(schemamap.NewTuple("department", depts[r[1]], r[1]))
+	}
+	return
+}
+
+func TestPipelineMatchToQuery(t *testing.T) {
+	src, tgt, I, J := hrPipeline(t)
+
+	scored := schemamap.MatchSchemas(src, tgt, I, J, schemamap.DefaultMatchOptions())
+	if len(scored) < 2 {
+		t.Fatalf("matcher proposed %d correspondences, want ≥ 2", len(scored))
+	}
+	cands, err := schemamap.GenerateCandidates(src, tgt,
+		schemamap.ToCorrespondences(scored), schemamap.DefaultClioOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := schemamap.NewProblem(I, J, cands)
+	sel, err := schemamap.Collective().Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen := p.SelectedMapping(sel.Chosen)
+	want := schemamap.MustParseTGD("employee(n,d) -> person(n,D) & department(D,d)")
+	if !chosen.Contains(want) {
+		t.Fatalf("pipeline selected %v, want the joined tgd", chosen.Strings())
+	}
+
+	// Exchange and query.
+	K := schemamap.Exchange(I, chosen)
+	if K.Len() == 0 {
+		t.Fatal("empty exchange")
+	}
+	core := schemamap.ExchangeCore(I, chosen)
+	if core.Len() > K.Len() {
+		t.Error("core larger than chase")
+	}
+	q := schemamap.MustParseQuery("q(n, d) :- person(n, x), department(x, d)")
+	answers := schemamap.CertainAnswers(q, I, chosen)
+	if len(answers) != 4 {
+		t.Fatalf("certain answers = %v, want 4", answers)
+	}
+	for _, a := range answers {
+		if a.HasNull() {
+			t.Errorf("null leaked into certain answer %v", a)
+		}
+	}
+}
+
+func TestFacadeWeightLearning(t *testing.T) {
+	cfg := schemamap.DefaultScenarioConfig(4, 77)
+	cfg.PiErrors = 25
+	sc, err := schemamap.GenerateScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := schemamap.NewProblem(sc.I, sc.J, sc.Candidates)
+	w, err := schemamap.LearnWeights(
+		[]schemamap.LearnExample{{Problem: p, Gold: sc.GoldSelection()}},
+		schemamap.DefaultLearnOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Explain <= 0 || w.Error <= 0 || w.Size <= 0 {
+		t.Errorf("non-positive learned weights: %+v", w)
+	}
+}
+
+func TestFacadeExchangeMatchesTuplePRF(t *testing.T) {
+	sc, err := schemamap.GenerateScenario(schemamap.DefaultScenarioConfig(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exchanging with the gold mapping reproduces the gold universal
+	// solution's patterns: F1 against itself is 1.
+	if got := schemamap.TuplePRF(sc.I, sc.Gold, sc.Gold).F1(); got != 1 {
+		t.Errorf("gold-vs-gold tuple F1 = %v", got)
+	}
+	K := schemamap.Exchange(sc.I, sc.Gold)
+	if K.Len() != sc.KGold.Len() {
+		t.Errorf("facade exchange produced %d tuples, scenario recorded %d", K.Len(), sc.KGold.Len())
+	}
+}

@@ -1,0 +1,276 @@
+// Package schemamap is a collective, probabilistic schema-mapping
+// toolkit: a Go reproduction of Kimmig, Memory, Miller and Getoor,
+// "A Collective, Probabilistic Approach to Schema Mapping" (ICDE
+// 2017).
+//
+// Given a source instance I, a target data example J, and a set C of
+// candidate source-to-target tgds (e.g. generated Clio-style from
+// attribute correspondences), the toolkit selects the subset M ⊆ C
+// minimising the paper's Eq. (9) objective — unexplained target data,
+// plus erroneous exchanged tuples, plus mapping size — using MAP
+// inference in a hinge-loss Markov random field (a PSL program),
+// alongside exact, greedy and per-candidate baselines.
+//
+// This root package re-exports the public API; the implementation
+// lives in the internal packages:
+//
+//	internal/schema   relational schemas, correspondences
+//	internal/data     instances, tuples, labelled nulls, homomorphisms
+//	internal/tgd      st tgds, canonical forms, text DSL
+//	internal/chase    the naive chase (canonical universal solutions)
+//	internal/cover    the Eq. (9) covers/creates measures
+//	internal/psl      a mini PSL engine with ADMM MAP inference
+//	internal/core     the selection objective and the four solvers
+//	internal/clio     Clio-style candidate generation
+//	internal/ibench   iBench-style scenario generation with noise
+//	internal/metrics  mapping- and tuple-level precision/recall/F1
+//
+// A minimal end-to-end run:
+//
+//	sc, _ := schemamap.GenerateScenario(schemamap.DefaultScenarioConfig(7, 42))
+//	p := schemamap.NewProblem(sc.I, sc.J, sc.Candidates)
+//	sel, _ := schemamap.Collective().Solve(p)
+//	fmt.Println(p.SelectedMapping(sel.Chosen))
+package schemamap
+
+import (
+	"schemamap/internal/chase"
+	"schemamap/internal/clio"
+	"schemamap/internal/core"
+	"schemamap/internal/cover"
+	"schemamap/internal/data"
+	"schemamap/internal/ibench"
+	"schemamap/internal/match"
+	"schemamap/internal/metrics"
+	"schemamap/internal/query"
+	"schemamap/internal/schema"
+	"schemamap/internal/tgd"
+)
+
+// Re-exported core types. See the internal packages for full
+// documentation of each.
+type (
+	// Schema is a relational schema (relations, keys, foreign keys).
+	Schema = schema.Schema
+	// Relation is one relation symbol with named attributes.
+	Relation = schema.Relation
+	// ForeignKey links columns of two relations.
+	ForeignKey = schema.ForeignKey
+	// Correspondence links a source attribute to a target attribute.
+	Correspondence = schema.Correspondence
+	// Correspondences is a set of attribute correspondences.
+	Correspondences = schema.Correspondences
+
+	// Instance is a set of tuples over a schema.
+	Instance = data.Instance
+	// Tuple is one fact.
+	Tuple = data.Tuple
+	// Value is a constant or labelled null.
+	Value = data.Value
+
+	// TGD is one source-to-target tuple-generating dependency.
+	TGD = tgd.TGD
+	// Mapping is an ordered set of tgds.
+	Mapping = tgd.Mapping
+
+	// Problem is a mapping-selection instance (Eq. (9) objective).
+	Problem = core.Problem
+	// Weights are the objective weights (w₁, w₂, w₃).
+	Weights = core.Weights
+	// Breakdown splits an objective value into its three parts.
+	Breakdown = core.Breakdown
+	// Selection is a solver result.
+	Selection = core.Selection
+	// Solver is a mapping-selection algorithm.
+	Solver = core.Solver
+
+	// Scenario is a generated benchmark scenario.
+	Scenario = ibench.Scenario
+	// ScenarioConfig controls scenario generation.
+	ScenarioConfig = ibench.Config
+	// Primitive is one iBench mapping primitive.
+	Primitive = ibench.Primitive
+
+	// PRF is a precision/recall/F1 triple.
+	PRF = metrics.PRF
+
+	// ClioOptions tune candidate generation.
+	ClioOptions = clio.Options
+
+	// MatchOptions tune the schema matcher.
+	MatchOptions = match.Options
+	// ScoredCorrespondence is a matcher proposal with its score.
+	ScoredCorrespondence = match.Scored
+
+	// CQ is a conjunctive query over an instance.
+	CQ = query.CQ
+	// UCQ is a union of conjunctive queries.
+	UCQ = query.UCQ
+	// Answer is one query result tuple.
+	Answer = query.Answer
+
+	// LearnExample is a training problem for weight learning.
+	LearnExample = core.LearnExample
+	// LearnSelectionOptions configure weight learning.
+	LearnSelectionOptions = core.LearnSelectionOptions
+
+	// ExplanationReport is the provenance of a selection.
+	ExplanationReport = cover.Report
+	// Witness explains one target tuple.
+	Witness = cover.Witness
+)
+
+// iBench primitives.
+const (
+	CP  = ibench.CP
+	ADD = ibench.ADD
+	DL  = ibench.DL
+	ADL = ibench.ADL
+	ME  = ibench.ME
+	VP  = ibench.VP
+	VNM = ibench.VNM
+)
+
+// NewSchema returns an empty schema.
+func NewSchema(name string) *Schema { return schema.New(name) }
+
+// NewRelation builds a relation.
+func NewRelation(name string, attrs ...string) *Relation {
+	return schema.NewRelation(name, attrs...)
+}
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance { return data.NewInstance() }
+
+// NewTuple builds a tuple of constants.
+func NewTuple(rel string, consts ...string) Tuple { return data.NewTuple(rel, consts...) }
+
+// ParseTGD parses one tgd from its DSL form, e.g.
+// "proj(p,e,c) -> task(p,e,O) & org(O,c)".
+func ParseTGD(src string) (*TGD, error) { return tgd.Parse(src) }
+
+// MustParseTGD is ParseTGD but panics on error.
+func MustParseTGD(src string) *TGD { return tgd.MustParse(src) }
+
+// NewProblem builds a selection problem with default weights.
+func NewProblem(I, J *Instance, candidates Mapping) *Problem {
+	return core.NewProblem(I, J, candidates)
+}
+
+// Collective returns the paper's solver: HL-MRF relaxation via PSL +
+// ADMM, rounding, and local repair.
+func Collective() Solver { return core.CollectiveSolver{} }
+
+// Greedy returns the forward-selection baseline.
+func Greedy() Solver { return core.GreedySolver{} }
+
+// Independent returns the per-candidate (non-collective) baseline.
+func Independent() Solver { return core.IndependentSolver{} }
+
+// Exhaustive returns the exact branch-and-bound solver (small C only).
+func Exhaustive() Solver { return core.ExhaustiveSolver{} }
+
+// GenerateCandidates produces Clio-style candidate tgds from schemas
+// and correspondences.
+func GenerateCandidates(src, tgt *Schema, corrs Correspondences, opts ClioOptions) (Mapping, error) {
+	return clio.Generate(src, tgt, corrs, opts)
+}
+
+// DefaultClioOptions returns the candidate-generation defaults.
+func DefaultClioOptions() ClioOptions { return clio.DefaultOptions() }
+
+// DefaultScenarioConfig returns the paper-flavoured scenario defaults
+// (all seven primitives, add/delete range (2,4), no noise).
+func DefaultScenarioConfig(n int, seed int64) ScenarioConfig {
+	return ibench.DefaultConfig(n, seed)
+}
+
+// GenerateScenario builds an iBench-style scenario.
+func GenerateScenario(cfg ScenarioConfig) (*Scenario, error) { return ibench.Generate(cfg) }
+
+// MappingPRF scores a selected mapping against a gold mapping at the
+// tgd level.
+func MappingPRF(selected, gold Mapping) PRF { return metrics.MappingPRF(selected, gold) }
+
+// TuplePRF scores the data exchanged by a selected mapping against the
+// gold mapping's output.
+func TuplePRF(I *Instance, selected, gold Mapping) PRF {
+	return metrics.TuplePRF(I, selected, gold)
+}
+
+// MatchSchemas proposes attribute correspondences between two schemas
+// from name similarity and (optional) instance-value overlap.
+func MatchSchemas(src, tgt *Schema, I, J *Instance, opts MatchOptions) []ScoredCorrespondence {
+	return match.Match(src, tgt, I, J, opts)
+}
+
+// DefaultMatchOptions returns the matcher defaults.
+func DefaultMatchOptions() MatchOptions { return match.DefaultOptions() }
+
+// ToCorrespondences strips matcher scores.
+func ToCorrespondences(scored []ScoredCorrespondence) Correspondences {
+	return match.ToCorrespondences(scored)
+}
+
+// Exchange materialises the canonical universal solution chase(I, M):
+// the target instance the mapping produces, with labelled nulls for
+// existential values.
+func Exchange(I *Instance, m Mapping) *Instance {
+	return chase.Chase(I, m, nil).Instance
+}
+
+// ExchangeCore materialises the core of the exchanged instance — the
+// smallest universal solution (redundant null blocks retracted).
+func ExchangeCore(I *Instance, m Mapping) *Instance {
+	return chase.Chase(I, m, nil).Core()
+}
+
+// ParseQuery parses a conjunctive query, e.g.
+// "q(e, c) :- task(p, e, o), org(o, c)".
+func ParseQuery(src string) (*CQ, error) { return query.Parse(src) }
+
+// MustParseQuery is ParseQuery but panics on error.
+func MustParseQuery(src string) *CQ { return query.MustParse(src) }
+
+// CertainAnswers computes the certain answers of q over the exchange
+// of I by m (naive evaluation over the universal solution, null-free
+// answers only).
+func CertainAnswers(q *CQ, I *Instance, m Mapping) []Answer {
+	return query.CertainAnswers(q, I, m)
+}
+
+// ExplainSelection computes the provenance report of a selection:
+// per-tuple witnesses, unexplained residue, and erroneous chase
+// tuples per selected candidate.
+func ExplainSelection(I, J *Instance, candidates Mapping, selected []bool) *ExplanationReport {
+	return cover.Explain(I, J, candidates, selected, cover.DefaultOptions())
+}
+
+// ParseUCQ parses a union of conjunctive queries separated by ';'.
+func ParseUCQ(src string) (*UCQ, error) { return query.ParseUCQ(src) }
+
+// CertainAnswersUCQ computes certain answers of a union of CQs over
+// the exchange of I by m.
+func CertainAnswersUCQ(u *UCQ, I *Instance, m Mapping) []Answer {
+	return query.CertainAnswersUCQ(u, I, m)
+}
+
+// Implies reports whether one st tgd logically implies another
+// (chase-based test).
+func Implies(sigma, tau *TGD) bool { return chase.Implies(sigma, tau) }
+
+// MinimizeMapping removes tgds logically implied by other members,
+// returning an equivalent, smaller mapping.
+func MinimizeMapping(m Mapping) Mapping { return chase.MinimizeMapping(m) }
+
+// LearnWeights learns the objective weights (w₁, w₂, w₃) from
+// training problems with known gold selections (structured
+// perceptron; see internal/core).
+func LearnWeights(examples []LearnExample, opts LearnSelectionOptions) (Weights, error) {
+	return core.LearnSelectionWeights(examples, opts)
+}
+
+// DefaultLearnOptions returns the weight-learning defaults.
+func DefaultLearnOptions() LearnSelectionOptions {
+	return core.DefaultLearnSelectionOptions()
+}

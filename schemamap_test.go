@@ -1,0 +1,119 @@
+package schemamap_test
+
+import (
+	"fmt"
+	"testing"
+
+	schemamap "schemamap"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sc, err := schemamap.GenerateScenario(schemamap.DefaultScenarioConfig(7, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := schemamap.NewProblem(sc.I, sc.J, sc.Candidates)
+	sel, err := schemamap.Collective().Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen := p.SelectedMapping(sel.Chosen)
+	if got := schemamap.MappingPRF(chosen, sc.Gold).F1(); got < 0.99 {
+		t.Errorf("clean scenario mapping F1 = %v, want ~1", got)
+	}
+	if got := schemamap.TuplePRF(sc.I, chosen, sc.Gold).F1(); got < 0.99 {
+		t.Errorf("clean scenario tuple F1 = %v, want ~1", got)
+	}
+}
+
+func TestFacadeSolverLineup(t *testing.T) {
+	names := map[string]schemamap.Solver{
+		"collective":  schemamap.Collective(),
+		"greedy":      schemamap.Greedy(),
+		"independent": schemamap.Independent(),
+		"exhaustive":  schemamap.Exhaustive(),
+	}
+	for want, s := range names {
+		if s.Name() != want {
+			t.Errorf("solver %q reports name %q", want, s.Name())
+		}
+	}
+}
+
+func TestFacadePrimitiveConstants(t *testing.T) {
+	prims := []schemamap.Primitive{
+		schemamap.CP, schemamap.ADD, schemamap.DL, schemamap.ADL,
+		schemamap.ME, schemamap.VP, schemamap.VNM,
+	}
+	seen := map[string]bool{}
+	for _, p := range prims {
+		if seen[p.String()] {
+			t.Errorf("duplicate primitive %v", p)
+		}
+		seen[p.String()] = true
+	}
+}
+
+// ExampleCollective demonstrates selecting a mapping for the paper's
+// running example.
+func ExampleCollective() {
+	I := schemamap.NewInstance()
+	J := schemamap.NewInstance()
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("P%d", i)
+		I.Add(schemamap.NewTuple("proj", name, "Alice", "SAP"))
+		J.Add(schemamap.NewTuple("task", name, "Alice", "111"))
+		J.Add(schemamap.NewTuple("org", "111", "SAP"))
+	}
+	candidates := schemamap.Mapping{
+		schemamap.MustParseTGD("proj(p,e,c) -> task(p,e,O)"),
+		schemamap.MustParseTGD("proj(p,e,c) -> task(p,e,O) & org(O,c)"),
+	}
+	p := schemamap.NewProblem(I, J, candidates)
+	sel, err := schemamap.Collective().Solve(p)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, d := range p.SelectedMapping(sel.Chosen) {
+		fmt.Println(d)
+	}
+	// Output:
+	// proj(p, e, c) -> task(p, e, O) & org(O, c)
+}
+
+// ExampleParseTGD shows the tgd DSL.
+func ExampleParseTGD() {
+	d, err := schemamap.ParseTGD("a(x, y) -> b(x, E) & c(E, y)")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(d)
+	fmt.Println("size:", d.Size(), "existentials:", d.ExistVars())
+	// Output:
+	// a(x, y) -> b(x, E) & c(E, y)
+	// size: 4 existentials: [E]
+}
+
+// ExampleGenerateCandidates shows Clio-style candidate generation.
+func ExampleGenerateCandidates() {
+	src := schemamap.NewSchema("src")
+	src.MustAddRelation(schemamap.NewRelation("proj", "name", "emp"))
+	tgt := schemamap.NewSchema("tgt")
+	tgt.MustAddRelation(schemamap.NewRelation("task", "name", "emp"))
+	corrs := schemamap.Correspondences{
+		{SourceRel: "proj", SourcePos: 0, TargetRel: "task", TargetPos: 0},
+		{SourceRel: "proj", SourcePos: 1, TargetRel: "task", TargetPos: 1},
+	}
+	cands, err := schemamap.GenerateCandidates(src, tgt, corrs, schemamap.DefaultClioOptions())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, d := range cands {
+		fmt.Println(d)
+	}
+	// Output:
+	// proj(x0, x1) -> task(x0, x1)
+}

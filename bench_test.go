@@ -6,6 +6,7 @@
 package schemamap_test
 
 import (
+	"context"
 	"testing"
 
 	schemamap "schemamap"
@@ -31,7 +32,7 @@ func benchTable(b *testing.B, run func() error) {
 // table).
 func BenchmarkAppendixExample(b *testing.B) {
 	benchTable(b, func() error {
-		_, err := experiments.EX0AppendixExample()
+		_, err := experiments.EX0AppendixExample(context.Background())
 		return err
 	})
 }
@@ -40,7 +41,7 @@ func BenchmarkAppendixExample(b *testing.B) {
 // NP-hardness reduction).
 func BenchmarkSetCoverReduction(b *testing.B) {
 	benchTable(b, func() error {
-		_, err := experiments.EX2SetCover(quickOpts())
+		_, err := experiments.EX2SetCover(context.Background(), quickOpts())
 		return err
 	})
 }
@@ -48,7 +49,7 @@ func BenchmarkSetCoverReduction(b *testing.B) {
 // BenchmarkE1PrimitiveQuality regenerates E1 (per-primitive quality).
 func BenchmarkE1PrimitiveQuality(b *testing.B) {
 	benchTable(b, func() error {
-		_, err := experiments.E1PrimitiveQuality(quickOpts())
+		_, err := experiments.E1PrimitiveQuality(context.Background(), quickOpts())
 		return err
 	})
 }
@@ -56,7 +57,7 @@ func BenchmarkE1PrimitiveQuality(b *testing.B) {
 // BenchmarkE2CorrespSweep regenerates E2 (piCorresp sweep).
 func BenchmarkE2CorrespSweep(b *testing.B) {
 	benchTable(b, func() error {
-		_, err := experiments.E2CorrespSweep(quickOpts())
+		_, err := experiments.E2CorrespSweep(context.Background(), quickOpts())
 		return err
 	})
 }
@@ -64,7 +65,7 @@ func BenchmarkE2CorrespSweep(b *testing.B) {
 // BenchmarkE3ErrorsSweep regenerates E3 (piErrors sweep).
 func BenchmarkE3ErrorsSweep(b *testing.B) {
 	benchTable(b, func() error {
-		_, err := experiments.E3ErrorsSweep(quickOpts())
+		_, err := experiments.E3ErrorsSweep(context.Background(), quickOpts())
 		return err
 	})
 }
@@ -72,7 +73,7 @@ func BenchmarkE3ErrorsSweep(b *testing.B) {
 // BenchmarkE4UnexplainedSweep regenerates E4 (piUnexplained sweep).
 func BenchmarkE4UnexplainedSweep(b *testing.B) {
 	benchTable(b, func() error {
-		_, err := experiments.E4UnexplainedSweep(quickOpts())
+		_, err := experiments.E4UnexplainedSweep(context.Background(), quickOpts())
 		return err
 	})
 }
@@ -80,7 +81,7 @@ func BenchmarkE4UnexplainedSweep(b *testing.B) {
 // BenchmarkE5Scaling regenerates E5 (runtime vs scenario size).
 func BenchmarkE5Scaling(b *testing.B) {
 	benchTable(b, func() error {
-		_, err := experiments.E5Scaling(quickOpts())
+		_, err := experiments.E5Scaling(context.Background(), quickOpts())
 		return err
 	})
 }
@@ -88,7 +89,7 @@ func BenchmarkE5Scaling(b *testing.B) {
 // BenchmarkE6ApproxQuality regenerates E6 (gap to the exact optimum).
 func BenchmarkE6ApproxQuality(b *testing.B) {
 	benchTable(b, func() error {
-		_, err := experiments.E6ApproxQuality(quickOpts())
+		_, err := experiments.E6ApproxQuality(context.Background(), quickOpts())
 		return err
 	})
 }
@@ -96,7 +97,7 @@ func BenchmarkE6ApproxQuality(b *testing.B) {
 // BenchmarkE7WeightAblation regenerates E7 (objective-weight sweep).
 func BenchmarkE7WeightAblation(b *testing.B) {
 	benchTable(b, func() error {
-		_, err := experiments.E7WeightAblation(quickOpts())
+		_, err := experiments.E7WeightAblation(context.Background(), quickOpts())
 		return err
 	})
 }
@@ -105,7 +106,7 @@ func BenchmarkE7WeightAblation(b *testing.B) {
 // ablation).
 func BenchmarkE8CorroborationAblation(b *testing.B) {
 	benchTable(b, func() error {
-		_, err := experiments.E8CorroborationAblation(quickOpts())
+		_, err := experiments.E8CorroborationAblation(context.Background(), quickOpts())
 		return err
 	})
 }
@@ -114,7 +115,7 @@ func BenchmarkE8CorroborationAblation(b *testing.B) {
 // weights).
 func BenchmarkE9WeightLearning(b *testing.B) {
 	benchTable(b, func() error {
-		_, err := experiments.E9WeightLearning(quickOpts())
+		_, err := experiments.E9WeightLearning(context.Background(), quickOpts())
 		return err
 	})
 }
@@ -162,7 +163,7 @@ func BenchmarkCollectiveSolve(b *testing.B) {
 	p.Prepare()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := (core.CollectiveSolver{}).Solve(p); err != nil {
+		if _, err := (core.CollectiveSolver{}).Solve(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -176,7 +177,7 @@ func BenchmarkGreedySolve(b *testing.B) {
 	p.Prepare()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := (core.GreedySolver{}).Solve(p); err != nil {
+		if _, err := (core.GreedySolver{}).Solve(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -191,7 +192,7 @@ func BenchmarkPublicAPIEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 		p := schemamap.NewProblem(sc.I, sc.J, sc.Candidates)
-		sel, err := schemamap.Collective().Solve(p)
+		sel, err := schemamap.Collective().Solve(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}

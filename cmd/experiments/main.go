@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"schemamap/internal/experiments"
@@ -25,6 +27,10 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the in-flight experiment and fails the rest.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opts := experiments.Options{Quick: *quick, Seeds: *seeds, BaseSeed: *seed}
 	want := map[string]bool{}
 	if *only != "" {
@@ -34,7 +40,7 @@ func main() {
 	}
 
 	failed := false
-	for _, res := range experiments.All(opts) {
+	for _, res := range experiments.All(ctx, opts) {
 		if res.Err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", res.Err)
 			failed = true

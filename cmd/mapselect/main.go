@@ -2,15 +2,24 @@
 // (produced by scenariogen) and reports the selected mapping, its
 // Eq. (9) objective, and quality against the scenario's gold mapping.
 //
+// Solvers are resolved by name from the registry; Ctrl-C cancels a
+// running solve, -timeout sets a hard deadline, and -budget a soft
+// one (the solver returns its best selection so far).
+//
 // Usage:
 //
 //	mapselect -scenario sc.json [-solver collective] [-w1 1 -w2 1 -w3 1]
+//	          [-timeout 30s] [-budget 500ms] [-par 4] [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"time"
 
 	"schemamap/internal/core"
 	"schemamap/internal/cover"
@@ -20,13 +29,18 @@ import (
 
 func main() {
 	var (
-		path    = flag.String("scenario", "", "scenario JSON file (required)")
-		solver  = flag.String("solver", "collective", "solver: collective | greedy | independent | exhaustive")
-		w1      = flag.Float64("w1", 1, "weight of unexplained tuples")
-		w2      = flag.Float64("w2", 1, "weight of errors")
-		w3      = flag.Float64("w3", 1, "weight of mapping size")
-		quiet   = flag.Bool("q", false, "print only the selected tgds")
-		explain = flag.Bool("explain", false, "print the provenance report (witnesses, unexplained tuples, errors)")
+		path     = flag.String("scenario", "", "scenario JSON file (required)")
+		solver   = flag.String("solver", "collective", "solver name: "+strings.Join(core.Names(), " | "))
+		w1       = flag.Float64("w1", 1, "weight of unexplained tuples")
+		w2       = flag.Float64("w2", 1, "weight of errors")
+		w3       = flag.Float64("w3", 1, "weight of mapping size")
+		timeout  = flag.Duration("timeout", 0, "hard deadline for the solve (0 = none)")
+		budget   = flag.Duration("budget", 0, "soft compute budget; on expiry the best selection so far is returned (0 = none)")
+		par      = flag.Int("par", 0, "parallelism of the prepare phase (0 = GOMAXPROCS)")
+		seed     = flag.Int64("seed", 0, "seed for randomised tie-breaking (0 = deterministic)")
+		progress = flag.Bool("progress", false, "report solver progress on stderr")
+		quiet    = flag.Bool("q", false, "print only the selected tgds")
+		explain  = flag.Bool("explain", false, "print the provenance report (witnesses, unexplained tuples, errors)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -41,23 +55,42 @@ func main() {
 		fatal(err)
 	}
 
-	var s core.Solver
-	switch *solver {
-	case "collective":
-		s = core.CollectiveSolver{}
-	case "greedy":
-		s = core.GreedySolver{}
-	case "independent":
-		s = core.IndependentSolver{}
-	case "exhaustive":
-		s = core.ExhaustiveSolver{}
-	default:
-		fatal(fmt.Errorf("unknown solver %q", *solver))
+	s, err := core.Get(*solver)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Ctrl-C cancels the solve; -timeout is a hard deadline on top.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := []core.SolveOption{core.WithParallelism(*par)}
+	if *budget > 0 {
+		opts = append(opts, core.WithBudget(*budget))
+	}
+	if *seed != 0 {
+		opts = append(opts, core.WithSeed(*seed))
+	}
+	if *progress {
+		start := time.Now()
+		opts = append(opts, core.WithProgress(func(e core.Event) {
+			best := ""
+			if e.HasObjective {
+				best = fmt.Sprintf(" best=%.4g", e.Objective)
+			}
+			fmt.Fprintf(os.Stderr, "[%8s] %s/%s iter=%d%s\n",
+				time.Since(start).Round(time.Millisecond), e.Solver, e.Phase, e.Iteration, best)
+		}))
 	}
 
 	p := core.NewProblem(sc.I, sc.J, sc.Candidates)
 	p.Weights = core.Weights{Explain: *w1, Error: *w2, Size: *w3}
-	sel, err := s.Solve(p)
+	sel, err := s.Solve(ctx, p, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -69,7 +102,11 @@ func main() {
 	if *quiet {
 		return
 	}
-	fmt.Printf("\nsolver      : %s (%v, %d iterations)\n", sel.Solver, sel.Runtime, sel.Iterations)
+	note := ""
+	if sel.Truncated {
+		note = ", budget expired — best so far"
+	}
+	fmt.Printf("\nsolver      : %s (%v, %d iterations%s)\n", sel.Solver, sel.Runtime, sel.Iterations, note)
 	fmt.Printf("objective   : %s\n", sel.Objective)
 	fmt.Printf("selected    : %d of %d candidates\n", sel.Count(), len(sc.Candidates))
 	if len(sc.Gold) > 0 {

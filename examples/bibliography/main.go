@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -79,17 +80,17 @@ func main() {
 		fmt.Printf("  %v\n", d)
 	}
 
-	solvers := []schemamap.Solver{
-		schemamap.Independent(),
-		schemamap.Greedy(),
-		schemamap.Collective(),
-		schemamap.Exhaustive(),
-	}
+	// Every registered solver, resolved by name from the registry.
+	ctx := context.Background()
 	fmt.Printf("\n%-12s  %8s  %4s  %9s  %9s  %s\n",
 		"solver", "F", "|M|", "map-F1", "tuple-F1", "selected")
-	for _, s := range solvers {
+	for _, name := range []string{"independent", "greedy", "collective", "exhaustive"} {
+		s, err := schemamap.GetSolver(name)
+		if err != nil {
+			log.Fatal(err)
+		}
 		p := schemamap.NewProblem(I, J, cands)
-		sel, err := s.Solve(p)
+		sel, err := s.Solve(ctx, p)
 		if err != nil {
 			log.Fatal(err)
 		}

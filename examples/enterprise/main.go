@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,7 @@ func main() {
 			s.name, b.Unexplained, b.Errors, b.Size, b.Total())
 	}
 
-	exact, err := schemamap.Exhaustive().Solve(p)
+	exact, err := schemamap.Exhaustive().Solve(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,11 +72,11 @@ func main() {
 			J.Add(schemamap.NewTuple("task", name, "Alice", "111"))
 		}
 		p := schemamap.NewProblem(I, J, candidates)
-		exact, err := schemamap.Exhaustive().Solve(p)
+		exact, err := schemamap.Exhaustive().Solve(context.Background(), p)
 		if err != nil {
 			log.Fatal(err)
 		}
-		coll, err := schemamap.Collective().Solve(p)
+		coll, err := schemamap.Collective().Solve(context.Background(), p)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func evaluate(w schemamap.Weights, seeds []int64) (mapF1, tupF1 float64) {
 	for _, seed := range seeds {
 		sc, p := makeScenario(seed)
 		p.Weights = w
-		sel, err := schemamap.Collective().Solve(p)
+		sel, err := schemamap.Collective().Solve(context.Background(), p)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -57,7 +58,7 @@ func main() {
 			Gold:    sc.GoldSelection(),
 		})
 	}
-	learned, err := schemamap.LearnWeights(examples, schemamap.DefaultLearnOptions())
+	learned, err := schemamap.LearnWeights(context.Background(), examples, schemamap.DefaultLearnOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

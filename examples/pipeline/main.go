@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -70,7 +71,7 @@ func main() {
 
 	// ── 3. Select.
 	p := schemamap.NewProblem(I, J, cands)
-	sel, err := schemamap.Collective().Solve(p)
+	sel, err := schemamap.Collective().Solve(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
 	}

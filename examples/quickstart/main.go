@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -63,9 +64,10 @@ func main() {
 		fmt.Printf("  θ[%d]  %v   (size %d)\n", i, d, d.Size())
 	}
 
-	// Collective mapping selection.
+	// Collective mapping selection. Solvers take a context — cancel
+	// it (or add schemamap.WithBudget) to bound a long-running solve.
 	p := schemamap.NewProblem(I, J, candidates)
-	sel, err := schemamap.Collective().Solve(p)
+	sel, err := schemamap.Collective().Solve(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module schemamap
+
+go 1.21

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -46,9 +48,15 @@ type CollectiveSolver struct {
 // Name implements Solver.
 func (s CollectiveSolver) Name() string { return "collective" }
 
-// Solve implements Solver.
-func (s CollectiveSolver) Solve(p *Problem) (*Selection, error) {
-	p.Prepare()
+// Solve implements Solver. Cancelling ctx aborts the ADMM loop at its
+// next iteration and returns ctx.Err(); an expired WithBudget instead
+// stops inference early and proceeds to rounding + repair on the
+// partial relaxation, flagging the result Truncated.
+func (s CollectiveSolver) Solve(ctx context.Context, p *Problem, options ...SolveOption) (*Selection, error) {
+	r := newRun(ctx, s.Name(), options)
+	if err := r.prepare(p); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	n := p.NumCandidates()
 
@@ -67,27 +75,64 @@ func (s CollectiveSolver) Solve(p *Problem) (*Selection, error) {
 		inVar[i] = mrf.AtomVar("In", fmt.Sprintf("m%d", i))
 	}
 
+	// Only the iteration cap gets a solver-specific default;
+	// SolveMAPContext fills in zero Rho/Epsilon itself, so user-set
+	// fields survive.
 	opts := s.ADMM
 	if opts.MaxIterations == 0 {
-		opts = psl.DefaultADMMOptions()
 		opts.MaxIterations = 3000
 	}
-	sol, err := psl.SolveMAP(mrf, opts)
+	if opts.Seed == 0 {
+		opts.Seed = r.cfg.Seed
+	}
+	if r.cfg.Progress != nil {
+		prev := opts.Progress
+		opts.Progress = func(iter int) {
+			if prev != nil {
+				prev(iter)
+			}
+			r.emit("admm", iter)
+		}
+	}
+	// The soft budget becomes an inference deadline; the caller's ctx
+	// stays the hard stop.
+	admmCtx := ctx
+	if !r.deadline.IsZero() {
+		var cancel context.CancelFunc
+		admmCtx, cancel = context.WithDeadline(ctx, r.deadline)
+		defer cancel()
+	}
+	truncated := false
+	sol, err := psl.SolveMAPContext(admmCtx, mrf, opts)
 	if err != nil {
-		// Infeasibility at loose tolerance is survivable: rounding
-		// only needs the relative order of the In values.
-		if sol == nil {
+		switch {
+		case ctx.Err() != nil:
+			// Hard cancellation from the caller.
+			return nil, ctx.Err()
+		case errors.Is(err, context.DeadlineExceeded):
+			// Soft budget: round and repair the partial relaxation.
+			truncated = true
+		case sol == nil:
 			return nil, err
 		}
+		// Infeasibility at loose tolerance is survivable: rounding
+		// only needs the relative order of the In values.
 	}
 	relax := make([]float64, n)
 	for i := 0; i < n; i++ {
 		relax[i] = sol.X[inVar[i]]
 	}
 
+	r.emit("round", sol.Iterations)
 	sel := s.round(p, relax)
 	if !s.NoRepair {
+		if r.cfg.Progress != nil {
+			r.emitObjective("repair", sol.Iterations, p.Objective(sel).Total())
+		}
 		sel = repair(p, sel)
+	}
+	if err := r.err(); err != nil {
+		return nil, err
 	}
 
 	return &Selection{
@@ -96,6 +141,7 @@ func (s CollectiveSolver) Solve(p *Problem) (*Selection, error) {
 		Solver:     s.Name(),
 		Runtime:    time.Since(start),
 		Iterations: sol.Iterations,
+		Truncated:  truncated,
 		Relaxation: relax,
 	}, nil
 }

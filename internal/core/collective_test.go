@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -26,11 +27,11 @@ func scenarioProblem(t *testing.T, n int, seed int64, piCorresp float64) *Proble
 func TestRuleGroundingMatchesDirect(t *testing.T) {
 	for _, seed := range []int64{3, 4, 5} {
 		p := scenarioProblem(t, 7, seed, 50)
-		direct, err := CollectiveSolver{}.Solve(p)
+		direct, err := CollectiveSolver{}.Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		viaRules, err := CollectiveSolver{UseRuleGrounding: true}.Solve(p)
+		viaRules, err := CollectiveSolver{UseRuleGrounding: true}.Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func TestCollectiveRoundThreshold(t *testing.T) {
 		p.I.Add(data.NewTuple("proj", name, "Alice", "SAP"))
 		p.J.Add(data.NewTuple("task", name, "Alice", "111"))
 	}
-	sel, err := CollectiveSolver{RoundThreshold: 0.5, NoRepair: true}.Solve(p)
+	sel, err := CollectiveSolver{RoundThreshold: 0.5, NoRepair: true}.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestCollectiveRoundThreshold(t *testing.T) {
 
 func TestCollectiveRelaxationExposed(t *testing.T) {
 	p := appendixProblem()
-	sel, err := CollectiveSolver{}.Solve(p)
+	sel, err := CollectiveSolver{}.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,11 +132,11 @@ func TestCollectiveNeverMuchWorseProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 10; trial++ {
 		p := scenarioProblem(t, 3, rng.Int63n(1000), 50)
-		coll, err := CollectiveSolver{}.Solve(p)
+		coll, err := CollectiveSolver{}.Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		greedy, err := GreedySolver{}.Solve(p)
+		greedy, err := GreedySolver{}.Solve(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -201,7 +202,7 @@ func TestExhaustivePrunesUselessCandidates(t *testing.T) {
 		tgd.MustParse("r(x) -> u(x)"), // covers nothing in J
 	}
 	p := NewProblem(I, J, cands)
-	sel, err := ExhaustiveSolver{}.Solve(p)
+	sel, err := ExhaustiveSolver{}.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -105,7 +106,7 @@ func TestAppendixOverfittingFlip(t *testing.T) {
 	}
 
 	// And the exact solver must pick {θ3}.
-	sel, err := ExhaustiveSolver{}.Solve(p5)
+	sel, err := ExhaustiveSolver{}.Solve(context.Background(), p5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestSolversOnAppendixExample(t *testing.T) {
 	}
 	for _, s := range solvers {
 		p := appendixProblem()
-		sel, err := s.Solve(p)
+		sel, err := s.Solve(context.Background(), p)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -143,11 +144,11 @@ func TestCollectiveMatchesExhaustiveAfterFlip(t *testing.T) {
 		p.I.Add(data.NewTuple("proj", name, "Alice", "SAP"))
 		p.J.Add(data.NewTuple("task", name, "Alice", "111"))
 	}
-	exact, err := ExhaustiveSolver{}.Solve(p)
+	exact, err := ExhaustiveSolver{}.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	coll, err := CollectiveSolver{}.Solve(p)
+	coll, err := CollectiveSolver{}.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestSetCoverReduction(t *testing.T) {
 	m := 2 * n // decision bound from the reduction
 	p, fullSize := setCoverProblem(universe, sets, m)
 
-	sel, err := ExhaustiveSolver{}.Solve(p)
+	sel, err := ExhaustiveSolver{}.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestSetCoverReduction(t *testing.T) {
 	// Shrink the universe's budget: demand a 1-set cover, impossible.
 	m1 := 2 * 1
 	p1, _ := setCoverProblem(universe, sets, m1)
-	sel1, err := ExhaustiveSolver{}.Solve(p1)
+	sel1, err := ExhaustiveSolver{}.Solve(context.Background(), p1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,14 +249,14 @@ func TestIndependentOverSelects(t *testing.T) {
 	}
 	p := NewProblem(I, J, cands)
 
-	ind, err := IndependentSolver{}.Solve(p)
+	ind, err := IndependentSolver{}.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ind.Count() != 2 {
 		t.Errorf("independent picked %d, want 2 (over-selection)", ind.Count())
 	}
-	coll, err := CollectiveSolver{}.Solve(p)
+	coll, err := CollectiveSolver{}.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestWeightsScaleObjective(t *testing.T) {
 
 func TestExhaustiveGuard(t *testing.T) {
 	p := appendixProblem()
-	if _, err := (ExhaustiveSolver{MaxCandidates: 1}).Solve(p); err == nil {
+	if _, err := (ExhaustiveSolver{MaxCandidates: 1}).Solve(context.Background(), p); err == nil {
 		t.Error("expected candidate-limit error")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -19,8 +20,15 @@ type ExhaustiveSolver struct {
 // Name implements Solver.
 func (s ExhaustiveSolver) Name() string { return "exhaustive" }
 
-// Solve implements Solver.
-func (s ExhaustiveSolver) Solve(p *Problem) (*Selection, error) {
+// checkEvery is the branch-and-bound cancellation-checkpoint cadence
+// (nodes between context checks).
+const checkEvery = 1024
+
+// Solve implements Solver. The search checks the context every
+// checkEvery nodes: a cancelled ctx aborts with ctx.Err(), while an
+// expired WithBudget stops expanding and returns the incumbent
+// selection flagged Truncated.
+func (s ExhaustiveSolver) Solve(ctx context.Context, p *Problem, options ...SolveOption) (*Selection, error) {
 	limit := s.MaxCandidates
 	if limit == 0 {
 		limit = 26
@@ -28,7 +36,10 @@ func (s ExhaustiveSolver) Solve(p *Problem) (*Selection, error) {
 	if p.NumCandidates() > limit {
 		return nil, fmt.Errorf("core: exhaustive solver limited to %d candidates, got %d", limit, p.NumCandidates())
 	}
-	p.Prepare()
+	r := newRun(ctx, s.Name(), options)
+	if err := r.prepare(p); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 
 	n := p.NumCandidates()
@@ -66,10 +77,29 @@ func (s ExhaustiveSolver) Solve(p *Problem) (*Selection, error) {
 	bestVal := p.Objective(sel).Total()
 	maxCov := make([]float64, nj)
 	nodes := 0
+	var stopErr error // caller cancellation, unwinds the recursion
+	truncated := false
 
 	var rec func(i int, linear float64)
 	rec = func(i int, linear float64) {
+		if stopErr != nil || truncated {
+			return
+		}
 		nodes++
+		if nodes%checkEvery == 0 {
+			stop, err := r.checkpoint()
+			if err != nil {
+				stopErr = err
+				return
+			}
+			if stop {
+				truncated = true
+				return
+			}
+			if nodes%(64*checkEvery) == 0 {
+				r.emitObjective("search", nodes, bestVal)
+			}
+		}
 		// Lower bound: linear costs committed so far plus the best
 		// possible explanation using all remaining candidates for free.
 		lb := linear
@@ -121,6 +151,9 @@ func (s ExhaustiveSolver) Solve(p *Problem) (*Selection, error) {
 		rec(i+1, linear)
 	}
 	rec(0, 0)
+	if stopErr != nil {
+		return nil, stopErr
+	}
 
 	return &Selection{
 		Chosen:     best,
@@ -128,5 +161,6 @@ func (s ExhaustiveSolver) Solve(p *Problem) (*Selection, error) {
 		Solver:     s.Name(),
 		Runtime:    time.Since(start),
 		Iterations: nodes,
+		Truncated:  truncated,
 	}, nil
 }

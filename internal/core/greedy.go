@@ -1,6 +1,9 @@
 package core
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // GreedySolver performs forward selection on the true objective:
 // repeatedly add the candidate with the largest improvement of F,
@@ -15,9 +18,15 @@ type GreedySolver struct {
 // Name implements Solver.
 func (s GreedySolver) Name() string { return "greedy" }
 
-// Solve implements Solver.
-func (s GreedySolver) Solve(p *Problem) (*Selection, error) {
-	p.Prepare()
+// Solve implements Solver. The context is checked before every
+// candidate scan (each scan is O(|C|·nnz)); an expired WithBudget
+// ends the add/remove passes early and returns the current selection
+// flagged Truncated.
+func (s GreedySolver) Solve(ctx context.Context, p *Problem, options ...SolveOption) (*Selection, error) {
+	r := newRun(ctx, s.Name(), options)
+	if err := r.prepare(p); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	passes := s.MaxPasses
 	if passes <= 0 {
@@ -26,12 +35,23 @@ func (s GreedySolver) Solve(p *Problem) (*Selection, error) {
 	n := p.NumCandidates()
 	ev := NewEvaluator(p, make([]bool, n))
 	steps := 0
+	truncated := false
 
+passes:
 	for pass := 0; pass < passes; pass++ {
+		r.emitObjective("pass", pass, ev.Total())
 		improved := false
 		// Forward additions: pick the best single addition until none
 		// improves.
 		for {
+			stop, err := r.checkpoint()
+			if err != nil {
+				return nil, err
+			}
+			if stop {
+				truncated = true
+				break passes
+			}
 			bestI, bestDelta := -1, -1e-12
 			for i := 0; i < n; i++ {
 				if ev.Selected(i) {
@@ -47,6 +67,14 @@ func (s GreedySolver) Solve(p *Problem) (*Selection, error) {
 			}
 			ev.Flip(bestI)
 			improved = true
+		}
+		stop, err := r.checkpoint()
+		if err != nil {
+			return nil, err
+		}
+		if stop {
+			truncated = true
+			break
 		}
 		// Removal pass.
 		for i := 0; i < n; i++ {
@@ -71,6 +99,7 @@ func (s GreedySolver) Solve(p *Problem) (*Selection, error) {
 		Solver:     s.Name(),
 		Runtime:    time.Since(start),
 		Iterations: steps,
+		Truncated:  truncated,
 	}, nil
 }
 
@@ -85,12 +114,17 @@ type IndependentSolver struct{}
 // Name implements Solver.
 func (s IndependentSolver) Name() string { return "independent" }
 
-// Solve implements Solver.
-func (s IndependentSolver) Solve(p *Problem) (*Selection, error) {
-	p.Prepare()
+// Solve implements Solver. The single per-candidate pass is O(|C|);
+// the context is checked once before it starts.
+func (s IndependentSolver) Solve(ctx context.Context, p *Problem, options ...SolveOption) (*Selection, error) {
+	r := newRun(ctx, s.Name(), options)
+	if err := r.prepare(p); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	n := p.NumCandidates()
 	sel := make([]bool, n)
+	r.emit("scan", 0)
 	for i := 0; i < n; i++ {
 		a := &p.analyses[i]
 		gain := p.Weights.Explain * a.TotalCoverage()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -55,9 +56,10 @@ func parts(p *Problem, sel []bool) [3]float64 {
 }
 
 // LearnSelectionWeights learns (w₁, w₂, w₃) from the examples and
-// returns them. The examples' problems are solved repeatedly; their
+// returns them. The examples' problems are solved repeatedly under
+// ctx — cancelling it aborts learning with ctx.Err() — and their
 // Weights fields are restored before returning.
-func LearnSelectionWeights(examples []LearnExample, opts LearnSelectionOptions) (Weights, error) {
+func LearnSelectionWeights(ctx context.Context, examples []LearnExample, opts LearnSelectionOptions) (Weights, error) {
 	if len(examples) == 0 {
 		return Weights{}, fmt.Errorf("core: no training examples")
 	}
@@ -96,7 +98,7 @@ func LearnSelectionWeights(examples []LearnExample, opts LearnSelectionOptions) 
 		moved := 0.0
 		for _, ex := range examples {
 			ex.Problem.Weights = Weights{Explain: w[0], Error: w[1], Size: w[2]}
-			sel, err := solver.Solve(ex.Problem)
+			sel, err := solver.Solve(ctx, ex.Problem)
 			if err != nil {
 				return Weights{}, err
 			}

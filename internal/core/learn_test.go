@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"schemamap/internal/data"
@@ -15,7 +16,7 @@ func TestLearnSelectionWeightsRecoverGold(t *testing.T) {
 	gold := []bool{false, true}
 
 	// Precondition: default weights select {}.
-	sel, err := CollectiveSolver{}.Solve(p)
+	sel, err := CollectiveSolver{}.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func TestLearnSelectionWeightsRecoverGold(t *testing.T) {
 		t.Fatalf("precondition: default selection %v, want empty", sel.Indices())
 	}
 
-	w, err := LearnSelectionWeights(
+	w, err := LearnSelectionWeights(context.Background(),
 		[]LearnExample{{Problem: p, Gold: gold}},
 		DefaultLearnSelectionOptions())
 	if err != nil {
@@ -34,7 +35,7 @@ func TestLearnSelectionWeightsRecoverGold(t *testing.T) {
 	}
 
 	p.Weights = w
-	sel, err = CollectiveSolver{}.Solve(p)
+	sel, err = CollectiveSolver{}.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,11 +59,11 @@ func TestLearnSelectionWeightsNoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := NewProblem(sc.I, sc.J, sc.Candidates)
-	sel, err := CollectiveSolver{}.Solve(p)
+	sel, err := CollectiveSolver{}.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := LearnSelectionWeights(
+	w, err := LearnSelectionWeights(context.Background(),
 		[]LearnExample{{Problem: p, Gold: sel.Chosen}},
 		DefaultLearnSelectionOptions())
 	if err != nil {
@@ -74,11 +75,11 @@ func TestLearnSelectionWeightsNoop(t *testing.T) {
 }
 
 func TestLearnSelectionWeightsValidation(t *testing.T) {
-	if _, err := LearnSelectionWeights(nil, DefaultLearnSelectionOptions()); err == nil {
+	if _, err := LearnSelectionWeights(context.Background(), nil, DefaultLearnSelectionOptions()); err == nil {
 		t.Error("expected error for empty training set")
 	}
 	p := appendixProblem()
-	if _, err := LearnSelectionWeights(
+	if _, err := LearnSelectionWeights(context.Background(),
 		[]LearnExample{{Problem: p, Gold: []bool{true}}},
 		DefaultLearnSelectionOptions()); err == nil {
 		t.Error("expected error for gold length mismatch")
@@ -89,7 +90,7 @@ func TestLearnSelectionWeightsValidation(t *testing.T) {
 func TestLearnSelectionWeightsRestores(t *testing.T) {
 	p := appendixProblem()
 	p.Weights = Weights{Explain: 3, Error: 2, Size: 1}
-	_, err := LearnSelectionWeights(
+	_, err := LearnSelectionWeights(context.Background(),
 		[]LearnExample{{Problem: p, Gold: []bool{false, true}}},
 		DefaultLearnSelectionOptions())
 	if err != nil {

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"schemamap/internal/ibench"
+)
+
+func prepareScenario(t *testing.T) *ibench.Scenario {
+	t.Helper()
+	cfg := ibench.DefaultConfig(7, 42)
+	cfg.PiCorresp = 50
+	sc, err := ibench.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// Parallel Prepare must produce exactly the serial evidence: the
+// candidate analyses are independent and written to fixed slots, so
+// worker count cannot change the result.
+func TestParallelPrepareMatchesSerial(t *testing.T) {
+	sc := prepareScenario(t)
+
+	serial := NewProblem(sc.I, sc.J, sc.Candidates)
+	serial.PrepareN(1)
+	parallel := NewProblem(sc.I, sc.J, sc.Candidates)
+	parallel.PrepareN(8)
+
+	if !reflect.DeepEqual(serial.Analyses(), parallel.Analyses()) {
+		t.Error("parallel Prepare diverged from serial analyses")
+	}
+	if serial.JIndex().Len() != parallel.JIndex().Len() {
+		t.Error("J index length differs")
+	}
+}
+
+// Prepare runs exactly once per Problem, no matter how many
+// goroutines race to trigger it (the seed's unguarded `prepared` bool
+// made this a data race; sync.Once fixed it — run with -race).
+func TestPrepareConcurrentlySafe(t *testing.T) {
+	sc := prepareScenario(t)
+	p := NewProblem(sc.I, sc.J, sc.Candidates)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(workers int) {
+			defer wg.Done()
+			p.PrepareN(workers % 4)
+			_ = p.Analyses()
+			_ = p.JIndex()
+		}(g)
+	}
+	wg.Wait()
+	if len(p.Analyses()) != p.NumCandidates() {
+		t.Errorf("analyses = %d, want %d", len(p.Analyses()), p.NumCandidates())
+	}
+}
+
+// One prepared Problem shared across concurrent solver calls: the
+// API contract for serving many selection requests over the same
+// instance. Run with -race.
+func TestConcurrentSolversShareProblem(t *testing.T) {
+	sc := prepareScenario(t)
+	p := NewProblem(sc.I, sc.J, sc.Candidates)
+	ctx := context.Background()
+
+	solvers := []string{"collective", "greedy", "independent", "collective", "greedy", "independent"}
+	var wg sync.WaitGroup
+	errs := make([]error, len(solvers))
+	totals := make(map[string][]float64)
+	var mu sync.Mutex
+	for i, name := range solvers {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sel, err := MustGet(name).Solve(ctx, p)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			totals[name] = append(totals[name], sel.Objective.Total())
+			mu.Unlock()
+		}(i, name)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("%s: %v", solvers[i], err)
+		}
+	}
+	// The same solver on the same shared problem is deterministic.
+	for name, vals := range totals {
+		for _, v := range vals[1:] {
+			if !approx(v, vals[0]) {
+				t.Errorf("%s: concurrent runs disagree: %v", name, vals)
+			}
+		}
+	}
+}

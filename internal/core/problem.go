@@ -19,7 +19,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"schemamap/internal/cover"
@@ -64,9 +66,9 @@ type Problem struct {
 	// homomorphism caps).
 	CoverOptions cover.Options
 
-	jidx     *cover.JIndex
-	analyses []cover.Analysis
-	prepared bool
+	prepareOnce sync.Once
+	jidx        *cover.JIndex
+	analyses    []cover.Analysis
 }
 
 // NewProblem builds a problem with default weights and cover options.
@@ -80,15 +82,24 @@ func NewProblem(I, J *data.Instance, candidates tgd.Mapping) *Problem {
 	}
 }
 
-// Prepare chases every candidate and computes the Eq. (9) evidence.
-// It is idempotent; solvers call it automatically.
-func (p *Problem) Prepare() {
-	if p.prepared {
-		return
-	}
-	p.jidx = cover.IndexJ(p.J)
-	p.analyses = cover.Analyze(p.I, p.jidx, p.Candidates, p.CoverOptions)
-	p.prepared = true
+// Prepare chases every candidate and computes the Eq. (9) evidence,
+// analysing candidates with a worker pool sized to GOMAXPROCS. It
+// runs exactly once per Problem and is safe for concurrent use, so
+// one prepared Problem can be shared across concurrent solver calls;
+// solvers call it automatically.
+func (p *Problem) Prepare() { p.PrepareN(0) }
+
+// PrepareN is Prepare with an explicit bound on the candidate-
+// analysis worker pool: 1 forces serial analysis, 0 means GOMAXPROCS.
+// The chase + cover analysis per candidate is independent, so the
+// work is embarrassingly parallel. Only the first Prepare/PrepareN
+// call on a Problem does work; later calls (any bound) return
+// immediately.
+func (p *Problem) PrepareN(workers int) {
+	p.prepareOnce.Do(func() {
+		p.jidx = cover.IndexJ(p.J)
+		p.analyses = cover.AnalyzeN(p.I, p.jidx, p.Candidates, p.CoverOptions, workers)
+	})
 }
 
 // Analyses exposes the per-candidate evidence (after Prepare).
@@ -164,6 +175,9 @@ type Selection struct {
 	Runtime time.Duration
 	// Iterations is solver-specific work (nodes, passes, ADMM iters).
 	Iterations int
+	// Truncated reports that a WithBudget soft budget ran out before
+	// the solver finished; the selection is its best so far.
+	Truncated bool
 	// Relaxation, for the collective solver, holds the continuous
 	// ADMM values of the selection variables before rounding.
 	Relaxation []float64
@@ -191,8 +205,17 @@ func (s *Selection) Count() int {
 	return n
 }
 
-// Solver is a mapping-selection algorithm.
+// Solver is a mapping-selection algorithm. Solve honours context
+// cancellation at its iteration checkpoints — a cancelled or expired
+// ctx makes it return promptly with ctx.Err(). The one exception is
+// the shared Prepare phase: it runs once per Problem for all callers,
+// so cancellation during it is honoured at the first checkpoint after
+// (latency bounded by the prepare duration). Solve accepts
+// per-call functional options (WithBudget, WithProgress,
+// WithParallelism, WithSeed). Solvers are stateless values: one
+// Solver and one prepared Problem may be shared across concurrent
+// Solve calls.
 type Solver interface {
 	Name() string
-	Solve(p *Problem) (*Selection, error)
+	Solve(ctx context.Context, p *Problem, opts ...SolveOption) (*Selection, error)
 }

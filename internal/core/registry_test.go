@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryGetKnownNames(t *testing.T) {
+	for _, name := range []string{"collective", "greedy", "independent", "exhaustive"} {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("Get(%q) returned solver named %q", name, s.Name())
+		}
+	}
+}
+
+func TestRegistryGetUnknownName(t *testing.T) {
+	_, err := Get("simulated-annealing")
+	if err == nil {
+		t.Fatal("expected error for unknown solver")
+	}
+	// The error must name the available solvers, so CLI users can
+	// self-correct.
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) < 4 {
+		t.Fatalf("Names() = %v, want at least the four built-ins", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+// registerNoopOnce keeps go test -count=N from re-registering into
+// the process-global registry and panicking on the duplicate.
+var registerNoopOnce sync.Once
+
+func TestRegistryRegisterCustomSolver(t *testing.T) {
+	registerNoopOnce.Do(func() {
+		Register("registry-test-noop", func() Solver { return noopSolver{} })
+	})
+	s := MustGet("registry-test-noop")
+	sel, err := s.Solve(context.Background(), appendixProblem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Count() != 0 {
+		t.Errorf("noop solver selected %v", sel.Indices())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register("greedy", func() Solver { return GreedySolver{} })
+}
+
+// noopSolver always returns the empty selection.
+type noopSolver struct{}
+
+func (noopSolver) Name() string { return "registry-test-noop" }
+
+func (s noopSolver) Solve(ctx context.Context, p *Problem, opts ...SolveOption) (*Selection, error) {
+	r := newRun(ctx, s.Name(), opts)
+	if err := r.prepare(p); err != nil {
+		return nil, err
+	}
+	sel := make([]bool, p.NumCandidates())
+	return &Selection{Chosen: sel, Objective: p.Objective(sel), Solver: s.Name()}, nil
+}

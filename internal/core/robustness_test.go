@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"schemamap/internal/data"
@@ -28,7 +29,7 @@ func TestSolversOnNoCandidates(t *testing.T) {
 	J.Add(data.NewTuple("s", "a"))
 	p := NewProblem(I, J, nil)
 	for _, s := range degenerateSolvers() {
-		sel, err := s.Solve(p)
+		sel, err := s.Solve(context.Background(), p)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -46,7 +47,7 @@ func TestSolversOnEmptyJ(t *testing.T) {
 	I.Add(data.NewTuple("r", "a"))
 	p := NewProblem(I, data.NewInstance(), tgd.Mapping{tgd.MustParse("r(x) -> s(x)")})
 	for _, s := range degenerateSolvers() {
-		sel, err := s.Solve(p)
+		sel, err := s.Solve(context.Background(), p)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -65,7 +66,7 @@ func TestSolversOnEmptyI(t *testing.T) {
 	J.Add(data.NewTuple("s", "a"))
 	p := NewProblem(data.NewInstance(), J, tgd.Mapping{tgd.MustParse("r(x) -> s(x)")})
 	for _, s := range degenerateSolvers() {
-		sel, err := s.Solve(p)
+		sel, err := s.Solve(context.Background(), p)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -86,12 +87,12 @@ func TestCollectiveWithStarvedADMM(t *testing.T) {
 		p.J.Add(data.NewTuple("task", name, "Alice", "111"))
 	}
 	s := CollectiveSolver{ADMM: psl.ADMMOptions{MaxIterations: 3, Rho: 1, Epsilon: 1e-5}}
-	sel, err := s.Solve(p)
+	sel, err := s.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatalf("starved ADMM: %v", err)
 	}
 	// Repair should still reach the optimum on this tiny instance.
-	exact, err := ExhaustiveSolver{}.Solve(p)
+	exact, err := ExhaustiveSolver{}.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestCollectiveWithStarvedADMM(t *testing.T) {
 // still return a well-formed selection.
 func TestCollectiveWeakestConfiguration(t *testing.T) {
 	p := appendixProblem()
-	sel, err := CollectiveSolver{NoRepair: true, RoundThreshold: 0.99}.Solve(p)
+	sel, err := CollectiveSolver{NoRepair: true, RoundThreshold: 0.99}.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestCollectiveWeakestConfiguration(t *testing.T) {
 func TestZeroWeights(t *testing.T) {
 	p := appendixProblem()
 	p.Weights = Weights{Explain: 1, Error: 0, Size: 0}
-	sel, err := CollectiveSolver{}.Solve(p)
+	sel, err := CollectiveSolver{}.Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestDuplicateCandidates(t *testing.T) {
 		CollectiveSolver{UseRuleGrounding: true},
 	}
 	for _, s := range solvers {
-		sel, err := s.Solve(p)
+		sel, err := s.Solve(context.Background(), p)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}

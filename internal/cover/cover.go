@@ -109,9 +109,17 @@ func (a *Analysis) TotalCoverage() float64 {
 // parallel (they are independent); the result order matches the
 // candidate order, so output is deterministic.
 func Analyze(I *data.Instance, jidx *JIndex, candidates tgd.Mapping, opts Options) []Analysis {
+	return AnalyzeN(I, jidx, candidates, opts, 0)
+}
+
+// AnalyzeN is Analyze with an explicit bound on the worker pool:
+// 1 forces serial analysis, 0 or negative means GOMAXPROCS.
+func AnalyzeN(I *data.Instance, jidx *JIndex, candidates tgd.Mapping, opts Options, workers int) []Analysis {
 	J := instanceOf(jidx)
 	out := make([]Analysis, len(candidates))
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(candidates) {
 		workers = len(candidates)
 	}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -112,13 +113,14 @@ func (o Options) seeds() int {
 }
 
 // solverSet returns the solver lineup compared throughout the
-// evaluation.
+// evaluation, resolved by name from the core registry.
 func solverSet() []core.Solver {
-	return []core.Solver{
-		core.IndependentSolver{},
-		core.GreedySolver{},
-		core.CollectiveSolver{},
+	names := []string{"independent", "greedy", "collective"}
+	out := make([]core.Solver, len(names))
+	for i, n := range names {
+		out[i] = core.MustGet(n)
 	}
+	return out
 }
 
 // trial holds per-solver aggregates across seeds.
@@ -147,11 +149,11 @@ func (a *agg) avg() (mapF1, tupF1, obj, secs, sel float64) {
 
 // runSolvers evaluates every solver on the scenario and records
 // mapping-level F1, tuple-level F1, objective and runtime.
-func runSolvers(sc *ibench.Scenario, solvers []core.Solver, aggs map[string]*agg) error {
+func runSolvers(ctx context.Context, sc *ibench.Scenario, solvers []core.Solver, aggs map[string]*agg) error {
 	p := core.NewProblem(sc.I, sc.J, sc.Candidates)
 	p.Prepare()
 	for _, s := range solvers {
-		sel, err := s.Solve(p)
+		sel, err := s.Solve(ctx, p)
 		if err != nil {
 			return fmt.Errorf("%s: %w", s.Name(), err)
 		}
@@ -173,7 +175,7 @@ func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 
 // EX0AppendixExample reproduces the appendix §I objective table for
 // the running example, exactly.
-func EX0AppendixExample() (*Table, error) {
+func EX0AppendixExample(ctx context.Context) (*Table, error) {
 	I := data.NewInstance()
 	I.Add(data.NewTuple("proj", "BigData", "Bob", "IBM"))
 	I.Add(data.NewTuple("proj", "ML", "Alice", "SAP"))
@@ -217,7 +219,7 @@ func EX0AppendixExample() (*Table, error) {
 
 // EX2SetCover demonstrates the appendix §III NP-hardness reduction:
 // mapping selection solves SET COVER instances exactly.
-func EX2SetCover(o Options) (*Table, error) {
+func EX2SetCover(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID:      "EX2",
 		Caption: "Appendix §III: SET COVER ↔ mapping selection (full st tgds)",
@@ -239,7 +241,7 @@ func EX2SetCover(o Options) (*Table, error) {
 	}
 	for _, inst := range instances {
 		p := setCoverProblem(inst.universe, inst.sets, 2*inst.n)
-		sel, err := core.ExhaustiveSolver{}.Solve(p)
+		sel, err := core.ExhaustiveSolver{}.Solve(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -288,7 +290,7 @@ func setCoverProblem(universe []string, sets [][]string, m int) *core.Problem {
 // E1PrimitiveQuality compares solver quality per iBench primitive
 // (Table-II-style): mapping-level and tuple-level F1 under mild
 // correspondence noise.
-func E1PrimitiveQuality(o Options) (*Table, error) {
+func E1PrimitiveQuality(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID:      "E1",
 		Caption: "Quality per iBench primitive (piCorresp=25)",
@@ -311,7 +313,7 @@ func E1PrimitiveQuality(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := runSolvers(sc, solverSet(), aggs); err != nil {
+			if err := runSolvers(ctx, sc, solverSet(), aggs); err != nil {
 				return nil, err
 			}
 		}
@@ -333,7 +335,7 @@ var sweepMix = []ibench.Primitive{
 // noiseSweep is the shared implementation of E2–E4. Scenario seeds
 // are independent of the noise level, so each sweep varies only the
 // noise process.
-func noiseSweep(id, caption, param string, o Options, levels []float64, apply func(*ibench.Config, float64)) (*Table, error) {
+func noiseSweep(ctx context.Context, id, caption, param string, o Options, levels []float64, apply func(*ibench.Config, float64)) (*Table, error) {
 	t := &Table{
 		ID:      id,
 		Caption: caption,
@@ -359,7 +361,7 @@ func noiseSweep(id, caption, param string, o Options, levels []float64, apply fu
 				return nil, err
 			}
 			candSum += len(sc.Candidates)
-			if err := runSolvers(sc, solverSet(), aggs); err != nil {
+			if err := runSolvers(ctx, sc, solverSet(), aggs); err != nil {
 				return nil, err
 			}
 		}
@@ -373,29 +375,29 @@ func noiseSweep(id, caption, param string, o Options, levels []float64, apply fu
 }
 
 // E2CorrespSweep sweeps the random-correspondence noise piCorresp.
-func E2CorrespSweep(o Options) (*Table, error) {
-	return noiseSweep("E2", "F1 vs piCorresp (random correspondences)", "piCorresp", o,
+func E2CorrespSweep(ctx context.Context, o Options) (*Table, error) {
+	return noiseSweep(ctx, "E2", "F1 vs piCorresp (random correspondences)", "piCorresp", o,
 		[]float64{0, 25, 50, 75, 100},
 		func(cfg *ibench.Config, lvl float64) { cfg.PiCorresp = lvl })
 }
 
 // E3ErrorsSweep sweeps the deleted-tuples noise piErrors.
-func E3ErrorsSweep(o Options) (*Table, error) {
-	return noiseSweep("E3", "F1 vs piErrors (deleted non-certain error tuples)", "piErrors", o,
+func E3ErrorsSweep(ctx context.Context, o Options) (*Table, error) {
+	return noiseSweep(ctx, "E3", "F1 vs piErrors (deleted non-certain error tuples)", "piErrors", o,
 		[]float64{0, 5, 10, 20, 40},
 		func(cfg *ibench.Config, lvl float64) { cfg.PiCorresp = 25; cfg.PiErrors = lvl })
 }
 
 // E4UnexplainedSweep sweeps the added-tuples noise piUnexplained.
-func E4UnexplainedSweep(o Options) (*Table, error) {
-	return noiseSweep("E4", "F1 vs piUnexplained (added non-certain unexplained tuples)", "piUnexplained", o,
+func E4UnexplainedSweep(ctx context.Context, o Options) (*Table, error) {
+	return noiseSweep(ctx, "E4", "F1 vs piUnexplained (added non-certain unexplained tuples)", "piUnexplained", o,
 		[]float64{0, 10, 25, 50, 100},
 		func(cfg *ibench.Config, lvl float64) { cfg.PiCorresp = 25; cfg.PiUnexplained = lvl })
 }
 
 // E5Scaling measures runtime versus scenario size; the exhaustive
 // solver is run only while the candidate set stays tractable.
-func E5Scaling(o Options) (*Table, error) {
+func E5Scaling(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID:      "E5",
 		Caption: "Runtime vs #primitive instances (seconds, averaged)",
@@ -425,7 +427,7 @@ func E5Scaling(o Options) (*Table, error) {
 			} else {
 				exhaustiveRan = false
 			}
-			if err := runSolvers(sc, solvers, aggs); err != nil {
+			if err := runSolvers(ctx, sc, solvers, aggs); err != nil {
 				return nil, err
 			}
 		}
@@ -449,7 +451,7 @@ func E5Scaling(o Options) (*Table, error) {
 
 // E6ApproxQuality compares each solver's objective against the exact
 // optimum on small, ambiguous scenarios.
-func E6ApproxQuality(o Options) (*Table, error) {
+func E6ApproxQuality(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID:      "E6",
 		Caption: "Objective vs exact optimum on small scenarios (piCorresp=100, piUnexplained=25)",
@@ -481,14 +483,14 @@ func E6ApproxQuality(o Options) (*Table, error) {
 			continue
 		}
 		p := core.NewProblem(sc.I, sc.J, sc.Candidates)
-		exact, err := core.ExhaustiveSolver{MaxCandidates: 36}.Solve(p)
+		exact, err := core.ExhaustiveSolver{MaxCandidates: 36}.Solve(ctx, p)
 		if err != nil {
 			return nil, err
 		}
 		exactSum += exact.Objective.Total()
 		exactN++
 		for _, sv := range solverSet() {
-			sel, err := sv.Solve(p)
+			sel, err := sv.Solve(ctx, p)
 			if err != nil {
 				return nil, err
 			}
@@ -525,7 +527,7 @@ func E6ApproxQuality(o Options) (*Table, error) {
 // E7WeightAblation sweeps the objective weights (the appendix's
 // weighted generalisation) and reports the collective solver's
 // behaviour.
-func E7WeightAblation(o Options) (*Table, error) {
+func E7WeightAblation(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID:      "E7",
 		Caption: "Weight ablation (collective solver, piCorresp=25, piErrors=20)",
@@ -560,7 +562,7 @@ func E7WeightAblation(o Options) (*Table, error) {
 			}
 			p := core.NewProblem(sc.I, sc.J, sc.Candidates)
 			p.Weights = w
-			sel, err := core.CollectiveSolver{}.Solve(p)
+			sel, err := core.CollectiveSolver{}.Solve(ctx, p)
 			if err != nil {
 				return nil, err
 			}
@@ -584,7 +586,7 @@ func E7WeightAblation(o Options) (*Table, error) {
 // covers, θ1's uncorroborated null counts as fully explaining each
 // task tuple, so the cheaper {θ1} wins and the org tuples are lost.
 // Part 2 measures the effect on noisy VP/VNM scenarios.
-func E8CorroborationAblation(o Options) (*Table, error) {
+func E8CorroborationAblation(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID:      "E8",
 		Caption: "Corroboration ablation (collective solver)",
@@ -616,7 +618,7 @@ func E8CorroborationAblation(o Options) (*Table, error) {
 	for _, corr := range []bool{true, false} {
 		p := core.NewProblem(I, J, cands)
 		p.CoverOptions.Corroboration = corr
-		sel, err := core.CollectiveSolver{}.Solve(p)
+		sel, err := core.CollectiveSolver{}.Solve(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -657,7 +659,7 @@ func E8CorroborationAblation(o Options) (*Table, error) {
 			}
 			p := core.NewProblem(sc.I, sc.J, sc.Candidates)
 			p.CoverOptions.Corroboration = corr
-			sel, err := core.CollectiveSolver{}.Solve(p)
+			sel, err := core.CollectiveSolver{}.Solve(ctx, p)
 			if err != nil {
 				return nil, err
 			}
@@ -686,7 +688,7 @@ func semanticsName(corr bool) string {
 // under error noise the default weights under-select (cf. E7); weights
 // learned from a few training scenarios with known gold selections
 // should recover the lost F1 on held-out scenarios.
-func E9WeightLearning(o Options) (*Table, error) {
+func E9WeightLearning(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID:      "E9",
 		Caption: "Learned objective weights under piErrors noise (train/test split)",
@@ -719,7 +721,7 @@ func E9WeightLearning(o Options) (*Table, error) {
 		}
 		examples = append(examples, core.LearnExample{Problem: p, Gold: sc.GoldSelection()})
 	}
-	learned, err := core.LearnSelectionWeights(examples, core.DefaultLearnSelectionOptions())
+	learned, err := core.LearnSelectionWeights(ctx, examples, core.DefaultLearnSelectionOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -733,7 +735,7 @@ func E9WeightLearning(o Options) (*Table, error) {
 				return 0, 0, err
 			}
 			p.Weights = w
-			sel, err := core.CollectiveSolver{}.Solve(p)
+			sel, err := core.CollectiveSolver{}.Solve(ctx, p)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -769,15 +771,16 @@ type Result struct {
 	Err   error
 }
 
-// All runs the full suite in order.
-func All(o Options) []Result {
-	type fn func(Options) (*Table, error)
+// All runs the full suite in order under ctx; a cancelled context
+// fails the remaining experiments with ctx.Err().
+func All(ctx context.Context, o Options) []Result {
+	type fn func(context.Context, Options) (*Table, error)
 	run := func(f fn) Result {
-		t, err := f(o)
+		t, err := f(ctx, o)
 		return Result{Table: t, Err: err}
 	}
 	return []Result{
-		func() Result { t, err := EX0AppendixExample(); return Result{t, err} }(),
+		func() Result { t, err := EX0AppendixExample(ctx); return Result{t, err} }(),
 		run(EX2SetCover),
 		run(E1PrimitiveQuality),
 		run(E2CorrespSweep),

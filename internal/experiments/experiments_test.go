@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 func quick() Options { return Options{Quick: true, Seeds: 1, BaseSeed: 1} }
 
 func TestEX0MatchesPaperNumbers(t *testing.T) {
-	tab, err := EX0AppendixExample()
+	tab, err := EX0AppendixExample(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,13 +33,13 @@ func TestEX0MatchesPaperNumbers(t *testing.T) {
 }
 
 func TestEX2ReductionAnswers(t *testing.T) {
-	if _, err := EX2SetCover(quick()); err != nil {
+	if _, err := EX2SetCover(context.Background(), quick()); err != nil {
 		t.Fatal(err) // EX2 self-checks the reduction answers
 	}
 }
 
 func TestE1CollectiveAtLeastIndependent(t *testing.T) {
-	tab, err := E1PrimitiveQuality(quick())
+	tab, err := E1PrimitiveQuality(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 // and satisfy its headline shape claim.
 
 func TestE2SweepRuns(t *testing.T) {
-	tab, err := E2CorrespSweep(quick())
+	tab, err := E2CorrespSweep(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +20,7 @@ func TestE2SweepRuns(t *testing.T) {
 }
 
 func TestE5ScalingShape(t *testing.T) {
-	tab, err := E5Scaling(quick())
+	tab, err := E5Scaling(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestE5ScalingShape(t *testing.T) {
 }
 
 func TestE6CollectiveOptimal(t *testing.T) {
-	tab, err := E6ApproxQuality(quick())
+	tab, err := E6ApproxQuality(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestE6CollectiveOptimal(t *testing.T) {
 }
 
 func TestE8AppendixFlip(t *testing.T) {
-	tab, err := E8CorroborationAblation(quick())
+	tab, err := E8CorroborationAblation(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestE8AppendixFlip(t *testing.T) {
 }
 
 func TestE9LearningRuns(t *testing.T) {
-	tab, err := E9WeightLearning(quick())
+	tab, err := E9WeightLearning(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestAllRunsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite run")
 	}
-	for _, res := range All(quick()) {
+	for _, res := range All(context.Background(), quick()) {
 		if res.Err != nil {
 			t.Errorf("%v", res.Err)
 			continue

@@ -1,8 +1,10 @@
 package psl
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"math/rand"
 )
 
 // ADMMOptions configure MAP inference.
@@ -13,7 +15,17 @@ type ADMMOptions struct {
 	MaxIterations int
 	// Epsilon is the residual convergence threshold (default 1e-5).
 	Epsilon float64
+	// Seed, when non-zero, perturbs the initial consensus values
+	// around 0.5. The problem is convex, so the optimum is unchanged;
+	// the perturbation only breaks ties between symmetric variables.
+	Seed int64
+	// Progress, when non-nil, is called every progressEvery
+	// iterations with the current iteration count.
+	Progress func(iter int)
 }
+
+// progressEvery is the cadence of ADMMOptions.Progress callbacks.
+const progressEvery = 64
 
 // DefaultADMMOptions returns the defaults used across the repo.
 func DefaultADMMOptions() ADMMOptions {
@@ -59,6 +71,15 @@ type factor struct {
 // constraints and x ∈ [0,1]ⁿ; it is convex, so ADMM converges to a
 // global optimum (of the continuous relaxation).
 func SolveMAP(m *MRF, opts ADMMOptions) (*Solution, error) {
+	return SolveMAPContext(context.Background(), m, opts)
+}
+
+// SolveMAPContext is SolveMAP with a cancellation checkpoint every
+// iteration. On cancellation it returns the partial Solution at the
+// current iterate (Converged=false) together with ctx.Err(), so
+// callers with a soft compute budget can keep the best-so-far state
+// while callers wanting a hard stop propagate the error.
+func SolveMAPContext(ctx context.Context, m *MRF, opts ADMMOptions) (*Solution, error) {
 	if opts.Rho <= 0 {
 		opts.Rho = 1
 	}
@@ -72,6 +93,12 @@ func SolveMAP(m *MRF, opts ADMMOptions) (*Solution, error) {
 	z := make([]float64, n)
 	for i := range z {
 		z[i] = 0.5
+	}
+	if opts.Seed != 0 {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		for i := range z {
+			z[i] = 0.45 + 0.1*rng.Float64()
+		}
 	}
 	factors := buildFactors(m)
 	if len(factors) == 0 {
@@ -88,6 +115,20 @@ func SolveMAP(m *MRF, opts ADMMOptions) (*Solution, error) {
 	rho := opts.Rho
 	var iter int
 	for iter = 0; iter < opts.MaxIterations; iter++ {
+		select {
+		case <-ctx.Done():
+			return &Solution{
+				X:          z,
+				Objective:  m.Objective(z),
+				Iterations: iter,
+				Converged:  false,
+				mrf:        m,
+			}, ctx.Err()
+		default:
+		}
+		if opts.Progress != nil && iter%progressEvery == 0 {
+			opts.Progress(iter)
+		}
 		// Local steps.
 		for _, f := range factors {
 			f.localStep(z, rho)

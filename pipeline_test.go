@@ -4,6 +4,7 @@ package schemamap_test
 // exchange → query, plus weight learning.
 
 import (
+	"context"
 	"testing"
 
 	schemamap "schemamap"
@@ -43,7 +44,7 @@ func TestPipelineMatchToQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := schemamap.NewProblem(I, J, cands)
-	sel, err := schemamap.Collective().Solve(p)
+	sel, err := schemamap.Collective().Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestFacadeWeightLearning(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := schemamap.NewProblem(sc.I, sc.J, sc.Candidates)
-	w, err := schemamap.LearnWeights(
+	w, err := schemamap.LearnWeights(context.Background(),
 		[]schemamap.LearnExample{{Problem: p, Gold: sc.GoldSelection()}},
 		schemamap.DefaultLearnOptions())
 	if err != nil {

@@ -29,11 +29,29 @@
 //
 //	sc, _ := schemamap.GenerateScenario(schemamap.DefaultScenarioConfig(7, 42))
 //	p := schemamap.NewProblem(sc.I, sc.J, sc.Candidates)
-//	sel, _ := schemamap.Collective().Solve(p)
+//	sel, _ := schemamap.Collective().Solve(context.Background(), p)
 //	fmt.Println(p.SelectedMapping(sel.Chosen))
+//
+// Solvers are context-aware and can be resolved by name from the
+// registry, with per-call options for serving workloads:
+//
+//	solver, _ := schemamap.GetSolver("collective") // see SolverNames()
+//	sel, err := solver.Solve(ctx, p,
+//	    schemamap.WithBudget(200*time.Millisecond),
+//	    schemamap.WithProgress(func(e schemamap.SolveEvent) { log.Println(e.Phase, e.Iteration) }),
+//	    schemamap.WithParallelism(4))
+//
+// Cancelling ctx stops any solver promptly with ctx.Err() (during
+// the once-per-Problem Prepare phase, at the first checkpoint after
+// it); an expired WithBudget instead yields the best selection found
+// so far, flagged Selection.Truncated. A prepared Problem is safe to
+// share across concurrent Solve calls.
 package schemamap
 
 import (
+	"context"
+	"time"
+
 	"schemamap/internal/chase"
 	"schemamap/internal/clio"
 	"schemamap/internal/core"
@@ -81,8 +99,13 @@ type (
 	Breakdown = core.Breakdown
 	// Selection is a solver result.
 	Selection = core.Selection
-	// Solver is a mapping-selection algorithm.
+	// Solver is a mapping-selection algorithm (context-aware).
 	Solver = core.Solver
+	// SolveOption customises one Solve call (WithBudget, WithProgress,
+	// WithParallelism, WithSeed).
+	SolveOption = core.SolveOption
+	// SolveEvent is one progress report from a running solver.
+	SolveEvent = core.Event
 
 	// Scenario is a generated benchmark scenario.
 	Scenario = ibench.Scenario
@@ -169,6 +192,32 @@ func Independent() Solver { return core.IndependentSolver{} }
 
 // Exhaustive returns the exact branch-and-bound solver (small C only).
 func Exhaustive() Solver { return core.ExhaustiveSolver{} }
+
+// GetSolver resolves a solver by registry name ("collective",
+// "greedy", "independent", "exhaustive", or anything added via
+// RegisterSolver); unknown names yield an error listing the options.
+func GetSolver(name string) (Solver, error) { return core.Get(name) }
+
+// SolverNames lists the registered solver names, sorted.
+func SolverNames() []string { return core.Names() }
+
+// RegisterSolver adds a custom solver factory to the registry.
+func RegisterSolver(name string, factory func() Solver) { core.Register(name, factory) }
+
+// WithBudget sets a soft compute budget on a Solve call: when it
+// elapses the solver returns its best selection so far, flagged
+// Truncated. Use a context deadline for a hard stop.
+func WithBudget(d time.Duration) SolveOption { return core.WithBudget(d) }
+
+// WithProgress registers a progress-event callback on a Solve call.
+func WithProgress(fn func(SolveEvent)) SolveOption { return core.WithProgress(fn) }
+
+// WithParallelism bounds the worker pools of a Solve call (currently
+// the Prepare pool); n ≤ 0 means GOMAXPROCS.
+func WithParallelism(n int) SolveOption { return core.WithParallelism(n) }
+
+// WithSeed seeds randomised tie-breaking on a Solve call.
+func WithSeed(seed int64) SolveOption { return core.WithSeed(seed) }
 
 // GenerateCandidates produces Clio-style candidate tgds from schemas
 // and correspondences.
@@ -265,9 +314,9 @@ func MinimizeMapping(m Mapping) Mapping { return chase.MinimizeMapping(m) }
 
 // LearnWeights learns the objective weights (w₁, w₂, w₃) from
 // training problems with known gold selections (structured
-// perceptron; see internal/core).
-func LearnWeights(examples []LearnExample, opts LearnSelectionOptions) (Weights, error) {
-	return core.LearnSelectionWeights(examples, opts)
+// perceptron; see internal/core). Cancelling ctx aborts learning.
+func LearnWeights(ctx context.Context, examples []LearnExample, opts LearnSelectionOptions) (Weights, error) {
+	return core.LearnSelectionWeights(ctx, examples, opts)
 }
 
 // DefaultLearnOptions returns the weight-learning defaults.

@@ -1,6 +1,7 @@
 package schemamap_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := schemamap.NewProblem(sc.I, sc.J, sc.Candidates)
-	sel, err := schemamap.Collective().Solve(p)
+	sel, err := schemamap.Collective().Solve(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func ExampleCollective() {
 		schemamap.MustParseTGD("proj(p,e,c) -> task(p,e,O) & org(O,c)"),
 	}
 	p := schemamap.NewProblem(I, J, candidates)
-	sel, err := schemamap.Collective().Solve(p)
+	sel, err := schemamap.Collective().Solve(context.Background(), p)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -1,0 +1,181 @@
+// Command benchrun is the scenario-scale benchmark harness CLI: it
+// generates ibench-style scenarios at the requested scales, runs every
+// registered solver on them, and writes one machine-readable
+// BENCH_<solver>.json per solver.
+//
+// Usage:
+//
+//	benchrun [flags]
+//
+//	-scale S|M|L|all     scales to run (default S; "none" skips the
+//	                     harness, e.g. for a pure -compare-admm run)
+//	-solvers a,b,...     solver subset (default: all registered)
+//	-parallelism N       WithParallelism for every solve (default 4)
+//	-budget D            per-solve soft budget (default 60s; 0 = off)
+//	-out DIR             output directory for BENCH_*.json (default .)
+//	-baseline FILE       perf baseline to gate against (optional)
+//	-gate PCT            allowed regression percent (default 20)
+//	-update-baseline     rewrite FILE from this run instead of gating
+//	-baseline-solvers    solvers recorded into the baseline
+//	                     (default collective — the ADMM gate)
+//	-compare-admm        also run the serial-vs-parallel ADMM
+//	                     comparison on the M scenario
+//	-strict-compare      exit non-zero when -compare-admm sees no
+//	                     speedup on a multi-core machine
+//
+// Exit codes: 0 ok, 1 usage/run error, 2 perf gate or comparison
+// failure.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"schemamap/internal/bench"
+	"schemamap/internal/core"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		scaleFlag       = flag.String("scale", "S", "scales to run: S, M, L, a comma list, or all")
+		solversFlag     = flag.String("solvers", "", "comma-separated solver subset (default: all registered)")
+		parallelism     = flag.Int("parallelism", 4, "WithParallelism for every solve (0 = GOMAXPROCS)")
+		budget          = flag.Duration("budget", 60*time.Second, "per-solve soft budget (0 = unlimited)")
+		outDir          = flag.String("out", ".", "output directory for BENCH_<solver>.json")
+		baselinePath    = flag.String("baseline", "", "baseline file to gate against (see -gate)")
+		gate            = flag.Float64("gate", 20, "allowed solve-time regression in percent vs -baseline")
+		updateBaseline  = flag.Bool("update-baseline", false, "rewrite -baseline from this run instead of gating")
+		baselineSolvers = flag.String("baseline-solvers", "collective", "solvers recorded by -update-baseline (comma list, or all)")
+		compareADMM     = flag.Bool("compare-admm", false, "run the serial-vs-parallel ADMM comparison on the M scenario")
+		strictCompare   = flag.Bool("strict-compare", false, "fail -compare-admm when no speedup on a multi-core machine")
+	)
+	flag.Parse()
+
+	scales, err := parseScales(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var solvers []string
+	if *solversFlag != "" {
+		solvers = strings.Split(*solversFlag, ",")
+	}
+
+	ctx := context.Background()
+	var reports []*bench.Report
+	if len(scales) > 0 {
+		opt := bench.Options{
+			Scales:      scales,
+			Solvers:     solvers,
+			Parallelism: *parallelism,
+			Budget:      *budget,
+			Progress:    func(line string) { fmt.Println(line) },
+		}
+		fmt.Printf("benchrun: scales=%s solvers=%s parallelism=%d budget=%v\n",
+			scaleNames(scales), solverNames(solvers), *parallelism, *budget)
+		reports, err = bench.Run(ctx, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+		paths, err := bench.WriteReports(*outDir, reports)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+		for _, p := range paths {
+			fmt.Println("wrote", p)
+		}
+	}
+
+	exit := 0
+	if *baselinePath != "" && len(scales) > 0 {
+		if *updateBaseline {
+			scale := scales[0].Name
+			var gated []string
+			if !strings.EqualFold(*baselineSolvers, "all") {
+				gated = strings.Split(*baselineSolvers, ",")
+			}
+			b := bench.BaselineFrom(reports, scale, gated...)
+			b.RecordedOn = fmt.Sprintf("go %s, GOMAXPROCS=%d", reports[0].GoVersion, reports[0].GOMAXPROCS)
+			if err := bench.WriteBaseline(*baselinePath, b); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrun:", err)
+				return 1
+			}
+			fmt.Printf("updated baseline %s (scale %s)\n", *baselinePath, scale)
+		} else {
+			b, err := bench.LoadBaseline(*baselinePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrun:", err)
+				return 1
+			}
+			if err := bench.CheckBaseline(b, reports, *gate); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit = 2
+			} else {
+				fmt.Printf("perf gate ok: within %g%% of baseline %s (scale %s)\n", *gate, *baselinePath, b.Scale)
+			}
+		}
+	}
+
+	if *compareADMM {
+		spec, _ := bench.SpecFor("M")
+		cmp, err := bench.CompareADMM(ctx, spec, *parallelism)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+		fmt.Println(cmp)
+		if !cmp.ObjectivesMatch(1e-6) {
+			fmt.Fprintf(os.Stderr, "benchrun: parallel ADMM objective diverged from serial by %g (tolerance 1e-6)\n", cmp.ObjectiveDelta)
+			exit = 2
+		}
+		if *strictCompare && cmp.ExpectSpeedup() && cmp.Speedup < 1 {
+			fmt.Fprintf(os.Stderr, "benchrun: parallel ADMM slower than serial (%.2fx) on a %d-CPU machine\n", cmp.Speedup, cmp.NumCPU)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+func parseScales(s string) ([]bench.Spec, error) {
+	if strings.EqualFold(s, "all") {
+		return bench.Scales(), nil
+	}
+	if s == "" || strings.EqualFold(s, "none") {
+		// -scale none: skip the harness (useful with -compare-admm).
+		return nil, nil
+	}
+	var out []bench.Spec
+	for _, name := range strings.Split(s, ",") {
+		spec, err := bench.SpecFor(strings.ToUpper(strings.TrimSpace(name)))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+func scaleNames(specs []bench.Spec) string {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return strings.Join(names, ",")
+}
+
+func solverNames(solvers []string) string {
+	if len(solvers) == 0 {
+		return strings.Join(core.Names(), ",")
+	}
+	return strings.Join(solvers, ",")
+}

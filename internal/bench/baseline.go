@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is the checked-in perf reference the CI bench job gates
+// against. Raw milliseconds are machine-dependent, so the baseline
+// records *normalised* solve times: solveMillis divided by the
+// process's calibration time (bench.Calibrate), i.e. "this solve costs
+// k calibration units". A PR fails the gate when a gated solver's
+// normalised time exceeds baseline·(1 + gate%).
+type Baseline struct {
+	Scale string `json:"scale"`
+	// NormalizedSolve maps solver name -> solveMillis/calibrationMillis
+	// recorded when the baseline was refreshed.
+	NormalizedSolve map[string]float64 `json:"normalizedSolve"`
+	// RecordedOn documents the recording machine (informational).
+	RecordedOn string `json:"recordedOn,omitempty"`
+}
+
+// BaselineFrom extracts a baseline from a harness run at the given
+// scale. Only solvers with a measurement at that scale are recorded;
+// when solvers is non-empty it further restricts the recorded set
+// (the CI gate records only the collective/ADMM solver — gating
+// microsecond-fast solvers on wall time would only add noise).
+func BaselineFrom(reports []*Report, scale string, solvers ...string) *Baseline {
+	keep := make(map[string]bool, len(solvers))
+	for _, s := range solvers {
+		keep[s] = true
+	}
+	b := &Baseline{Scale: scale, NormalizedSolve: make(map[string]float64)}
+	for _, r := range reports {
+		if r.CalibrationMillis <= 0 {
+			continue
+		}
+		if len(keep) > 0 && !keep[r.Solver] {
+			continue
+		}
+		for _, res := range r.Results {
+			if res.Scale == scale && res.Skipped == "" {
+				b.NormalizedSolve[r.Solver] = res.SolveMillis / r.CalibrationMillis
+			}
+		}
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes a baseline file (indented JSON).
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckBaseline compares a run against the baseline: each solver
+// recorded in the baseline must not regress its normalised solve time
+// by more than gatePercent at the baseline's scale. A gated solver
+// with no usable measurement at that scale — skipped, erroring, or
+// simply absent from the run — fails the gate too: a green gate must
+// mean "measured and within bounds", never "could not measure".
+// Solvers present in the run but absent from the baseline pass (new
+// solvers gate only after the baseline is refreshed). Returns one
+// error summarising all failures, or nil.
+func CheckBaseline(b *Baseline, reports []*Report, gatePercent float64) error {
+	if gatePercent <= 0 {
+		gatePercent = 20
+	}
+	var failures []string
+	names := make([]string, 0, len(b.NormalizedSolve))
+	for name := range b.NormalizedSolve {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := b.NormalizedSolve[name]
+		measured := false
+		for _, r := range reports {
+			if r.Solver != name || r.CalibrationMillis <= 0 {
+				continue
+			}
+			for _, res := range r.Results {
+				if res.Scale != b.Scale {
+					continue
+				}
+				if res.Skipped != "" {
+					failures = append(failures, fmt.Sprintf(
+						"%s@%s: gated solver skipped: %s", name, b.Scale, res.Skipped))
+					measured = true
+					continue
+				}
+				measured = true
+				got := res.SolveMillis / r.CalibrationMillis
+				limit := want * (1 + gatePercent/100)
+				if got > limit {
+					failures = append(failures, fmt.Sprintf(
+						"%s@%s: %.2f calibration units > baseline %.2f +%g%% (limit %.2f)",
+						name, b.Scale, got, want, gatePercent, limit))
+				}
+			}
+		}
+		if !measured {
+			failures = append(failures, fmt.Sprintf(
+				"%s@%s: gated solver has no measurement at the baseline scale", name, b.Scale))
+		}
+	}
+	if len(failures) > 0 {
+		msg := "bench: perf gate failed:"
+		for _, f := range failures {
+			msg += "\n  " + f
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}

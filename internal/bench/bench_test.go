@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"schemamap/internal/core"
+)
+
+// tinySpec is a sub-S spec so the full harness runs in well under a
+// second in tests.
+func tinySpec() Spec {
+	return Spec{Name: "T", N: 3, Rows: 6, PiCorresp: 20, PiErrors: 10, PiUnexplained: 10, Seed: 3}
+}
+
+func TestSpecFor(t *testing.T) {
+	for _, name := range []string{"S", "M", "L"} {
+		s, err := SpecFor(name)
+		if err != nil || s.Name != name {
+			t.Fatalf("SpecFor(%s) = %+v, %v", name, s, err)
+		}
+	}
+	if _, err := SpecFor("XXL"); err == nil {
+		t.Fatal("SpecFor(XXL) should fail")
+	}
+}
+
+// TestRunAllSolvers runs the harness over every registered solver on
+// a tiny scenario and checks each report is complete and serialises.
+func TestRunAllSolvers(t *testing.T) {
+	reports, err := Run(context.Background(), Options{
+		Scales:      []Spec{tinySpec()},
+		Parallelism: 2,
+		Budget:      20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(reports) != len(core.Names()) {
+		t.Fatalf("got %d reports, want one per registered solver (%d)", len(reports), len(core.Names()))
+	}
+	seen := map[string]bool{}
+	for _, r := range reports {
+		seen[r.Solver] = true
+		if r.CalibrationMillis <= 0 {
+			t.Errorf("%s: calibration missing", r.Solver)
+		}
+		if len(r.Results) != 1 {
+			t.Fatalf("%s: got %d results, want 1", r.Solver, len(r.Results))
+		}
+		res := r.Results[0]
+		if res.Skipped != "" {
+			t.Errorf("%s skipped on tiny scenario: %s", r.Solver, res.Skipped)
+			continue
+		}
+		if res.Scale != "T" || res.Candidates <= 0 || res.JTuples <= 0 {
+			t.Errorf("%s: incomplete result %+v", r.Solver, res)
+		}
+		if res.Objective <= 0 {
+			t.Errorf("%s: objective %v not positive on noised scenario", r.Solver, res.Objective)
+		}
+	}
+	for _, name := range core.Names() {
+		if !seen[name] {
+			t.Errorf("registered solver %s missing from reports", name)
+		}
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	reports, err := Run(context.Background(), Options{
+		Scales:  []Spec{tinySpec()},
+		Solvers: []string{"greedy"},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	dir := t.TempDir()
+	paths, err := WriteReports(dir, reports)
+	if err != nil {
+		t.Fatalf("WriteReports: %v", err)
+	}
+	if len(paths) != 1 || filepath.Base(paths[0]) != "BENCH_greedy.json" {
+		t.Fatalf("unexpected paths %v", paths)
+	}
+	got, err := LoadReport(paths[0])
+	if err != nil {
+		t.Fatalf("LoadReport: %v", err)
+	}
+	if !reflect.DeepEqual(got, reports[0]) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, reports[0])
+	}
+}
+
+func TestRunUnknownSolver(t *testing.T) {
+	if _, err := Run(context.Background(), Options{Scales: []Spec{tinySpec()}, Solvers: []string{"nope"}}); err == nil {
+		t.Fatal("unknown solver must fail")
+	}
+}
+
+// fakeReports builds a report set with a given normalised collective
+// solve time (calibration pinned to 1ms for easy arithmetic).
+func fakeReports(normalized float64) []*Report {
+	return []*Report{{
+		Solver:            "collective",
+		CalibrationMillis: 1,
+		Results:           []Result{{Solver: "collective", Scale: "S", SolveMillis: normalized}},
+	}}
+}
+
+func TestBaselineGate(t *testing.T) {
+	base := &Baseline{Scale: "S", NormalizedSolve: map[string]float64{"collective": 10}}
+	if err := CheckBaseline(base, fakeReports(10), 20); err != nil {
+		t.Errorf("at baseline: %v", err)
+	}
+	if err := CheckBaseline(base, fakeReports(11.9), 20); err != nil {
+		t.Errorf("+19%% must pass: %v", err)
+	}
+	if err := CheckBaseline(base, fakeReports(12.5), 20); err == nil {
+		t.Error("+25% must fail the 20% gate")
+	}
+	// Solvers absent from the baseline pass (gate only after refresh).
+	withNew := append(fakeReports(10), &Report{
+		Solver:            "newsolver",
+		CalibrationMillis: 1,
+		Results:           []Result{{Solver: "newsolver", Scale: "S", SolveMillis: 9999}},
+	})
+	if err := CheckBaseline(base, withNew, 20); err != nil {
+		t.Errorf("unlisted solver must pass: %v", err)
+	}
+	// A green gate must mean "measured and within bounds": a gated
+	// solver that was skipped, or has no result at the baseline's
+	// scale, fails rather than passing vacuously.
+	skipped := fakeReports(0)
+	skipped[0].Results[0].Skipped = "solver exploded"
+	if err := CheckBaseline(base, skipped, 20); err == nil {
+		t.Error("skipped gated solver must fail the gate")
+	}
+	off := fakeReports(100)
+	off[0].Results[0].Scale = "M"
+	if err := CheckBaseline(base, off, 20); err == nil {
+		t.Error("gated solver with no measurement at the baseline scale must fail")
+	}
+	if err := CheckBaseline(base, nil, 20); err == nil {
+		t.Error("empty run must fail the gate")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	reports, err := Run(context.Background(), Options{
+		Scales:  []Spec{tinySpec()},
+		Solvers: []string{"greedy", "independent"},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b := BaselineFrom(reports, "T")
+	if len(b.NormalizedSolve) != 2 {
+		t.Fatalf("baseline covers %d solvers, want 2: %+v", len(b.NormalizedSolve), b)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, b); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, b)
+	}
+	// The run that produced the baseline passes its own gate.
+	if err := CheckBaseline(got, reports, 20); err != nil {
+		t.Fatalf("self-gate: %v", err)
+	}
+}
+
+// TestCompareADMMTiny checks the comparison plumbing end to end on a
+// tiny scenario: objectives must match bit-for-bit.
+func TestCompareADMMTiny(t *testing.T) {
+	cmp, err := CompareADMM(context.Background(), tinySpec(), 4)
+	if err != nil {
+		t.Fatalf("CompareADMM: %v", err)
+	}
+	if cmp.ObjectiveDelta != 0 {
+		t.Errorf("objective delta %g, want exact 0 (deterministic chunking)", cmp.ObjectiveDelta)
+	}
+	if !cmp.ObjectivesMatch(1e-6) {
+		t.Error("ObjectivesMatch(1e-6) = false")
+	}
+	if cmp.SerialIterations != cmp.ParallelIterations {
+		t.Errorf("iterations diverged: %d vs %d", cmp.SerialIterations, cmp.ParallelIterations)
+	}
+	if cmp.Vars <= 0 || cmp.Factors <= 0 {
+		t.Errorf("missing problem size: %+v", cmp)
+	}
+}
+
+// TestReportJSONShape pins the report schema: downstream tooling (CI
+// artifacts, trend dashboards) reads these field names.
+func TestReportJSONShape(t *testing.T) {
+	r := &Report{Solver: "x", GoVersion: "go", GOMAXPROCS: 1, CalibrationMillis: 1,
+		Results: []Result{{Solver: "x", Scale: "S"}}}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"solver"`, `"goVersion"`, `"gomaxprocs"`, `"calibrationMillis"`,
+		`"results"`, `"scale"`, `"prepareMillis"`, `"solveMillis"`, `"iterations"`, `"objective"`, `"allocs"`} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("report JSON missing %s: %s", field, data)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -84,6 +85,15 @@ func (s CollectiveSolver) Solve(ctx context.Context, p *Problem, options ...Solv
 	}
 	if opts.Seed == 0 {
 		opts.Seed = r.cfg.Seed
+	}
+	if opts.Parallelism == 0 {
+		// WithParallelism(0) means GOMAXPROCS; ADMM iterates are
+		// bit-identical at every parallelism level, so defaulting to
+		// parallel inference never changes results.
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+		if r.cfg.Parallelism > 0 {
+			opts.Parallelism = r.cfg.Parallelism
+		}
 	}
 	if r.cfg.Progress != nil {
 		prev := opts.Progress

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 )
 
 // ADMMOptions configure MAP inference.
@@ -22,10 +24,26 @@ type ADMMOptions struct {
 	// Progress, when non-nil, is called every progressEvery
 	// iterations with the current iteration count.
 	Progress func(iter int)
+	// Parallelism bounds the worker pool running the factor-local,
+	// consensus and dual steps; ≤ 1 runs them inline. The iterates are
+	// bit-identical at every parallelism level: work is partitioned
+	// into fixed-size chunks (independent of the worker count) and the
+	// residual partial sums are reduced in chunk order.
+	Parallelism int
 }
 
 // progressEvery is the cadence of ADMMOptions.Progress callbacks.
 const progressEvery = 64
+
+// factorChunk and varChunk are the fixed chunk sizes the ADMM phases
+// are partitioned into. They are deliberately independent of
+// Parallelism so that the floating-point reduction order — and hence
+// every iterate — is identical whether the chunks run on one worker
+// or many.
+const (
+	factorChunk = 128
+	varChunk    = 256
+)
 
 // DefaultADMMOptions returns the defaults used across the repo.
 func DefaultADMMOptions() ADMMOptions {
@@ -79,6 +97,14 @@ func SolveMAP(m *MRF, opts ADMMOptions) (*Solution, error) {
 // current iterate (Converged=false) together with ctx.Err(), so
 // callers with a soft compute budget can keep the best-so-far state
 // while callers wanting a hard stop propagate the error.
+//
+// The three steps of each iteration — factor-local updates, the
+// consensus average, and the dual update — are each embarrassingly
+// parallel (the MM-family structure: all surrogate/local problems are
+// independent given the consensus), so with opts.Parallelism > 1 they
+// run on a persistent worker pool. The consensus step is sharded by
+// variable over a precomputed factor-incidence CSR, so no two workers
+// ever write the same consensus entry.
 func SolveMAPContext(ctx context.Context, m *MRF, opts ADMMOptions) (*Solution, error) {
 	if opts.Rho <= 0 {
 		opts.Rho = 1
@@ -105,13 +131,48 @@ func SolveMAPContext(ctx context.Context, m *MRF, opts ADMMOptions) (*Solution, 
 		sol := &Solution{X: z, Objective: 0, Converged: true, mrf: m}
 		return sol, nil
 	}
-	// Adjacency: how many factors touch each variable.
+	// zNext double-buffers the consensus: the consensus step writes the
+	// new iterate into it and the buffers swap, replacing the old
+	// per-iteration zOld copy (an O(n) allocation every iteration).
+	zNext := make([]float64, n)
+
+	// Variable-incidence CSR: for each variable, the (factor, slot)
+	// pairs that touch it. The consensus step sums over a variable's
+	// incidence list, so each variable is owned by exactly one chunk
+	// and the sum order is fixed regardless of parallelism.
 	count := make([]float64, n)
+	total := 0
 	for _, f := range factors {
 		for _, v := range f.vars {
 			count[v]++
+			total++
 		}
 	}
+	incOff := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		incOff[v+1] = incOff[v] + int32(count[v])
+	}
+	incFactor := make([]int32, total)
+	incSlot := make([]int32, total)
+	cursor := make([]int32, n)
+	copy(cursor, incOff[:n])
+	for fi, f := range factors {
+		for k, v := range f.vars {
+			c := cursor[v]
+			incFactor[c] = int32(fi)
+			incSlot[c] = int32(k)
+			cursor[v] = c + 1
+		}
+	}
+
+	numFactChunks := (len(factors) + factorChunk - 1) / factorChunk
+	numVarChunks := (n + varChunk - 1) / varChunk
+	primalPart := make([]float64, numFactChunks)
+	dualPart := make([]float64, numVarChunks)
+
+	pool := newChunkPool(opts.Parallelism)
+	defer pool.close()
+
 	rho := opts.Rho
 	var iter int
 	for iter = 0; iter < opts.MaxIterations; iter++ {
@@ -129,41 +190,79 @@ func SolveMAPContext(ctx context.Context, m *MRF, opts ADMMOptions) (*Solution, 
 		if opts.Progress != nil && iter%progressEvery == 0 {
 			opts.Progress(iter)
 		}
-		// Local steps.
-		for _, f := range factors {
-			f.localStep(z, rho)
-		}
-		// Consensus step with box projection.
-		zOld := append([]float64(nil), z...)
-		acc := make([]float64, n)
-		for _, f := range factors {
-			for k, v := range f.vars {
-				acc[v] += f.y[k] + f.u[k]
+		// Local steps: independent per factor.
+		zCur := z
+		pool.run(numFactChunks, func(chunk int) {
+			lo := chunk * factorChunk
+			hi := lo + factorChunk
+			if hi > len(factors) {
+				hi = len(factors)
 			}
-		}
-		for i := 0; i < n; i++ {
-			if count[i] == 0 {
-				continue
+			for _, f := range factors[lo:hi] {
+				f.localStep(zCur, rho)
 			}
-			zi := acc[i] / count[i]
-			if zi < 0 {
-				zi = 0
+		})
+		// Consensus step with box projection, sharded by variable; the
+		// dual residual Σ_{(f,k)} (z_v − zOld_v)² = Σ_v count_v·Δ_v²
+		// accumulates into per-chunk partials.
+		zNew := zNext
+		pool.run(numVarChunks, func(chunk int) {
+			lo := chunk * varChunk
+			hi := lo + varChunk
+			if hi > n {
+				hi = n
 			}
-			if zi > 1 {
-				zi = 1
+			dp := 0.0
+			for v := lo; v < hi; v++ {
+				if count[v] == 0 {
+					zNew[v] = zCur[v]
+					continue
+				}
+				s := 0.0
+				for i := incOff[v]; i < incOff[v+1]; i++ {
+					f := factors[incFactor[i]]
+					k := incSlot[i]
+					s += f.y[k] + f.u[k]
+				}
+				zi := s / count[v]
+				if zi < 0 {
+					zi = 0
+				}
+				if zi > 1 {
+					zi = 1
+				}
+				zNew[v] = zi
+				d := zi - zCur[v]
+				dp += count[v] * d * d
 			}
-			z[i] = zi
-		}
-		// Dual updates and residuals.
+			dualPart[chunk] = dp
+		})
+		z, zNext = zNext, z
+		// Dual updates and the primal residual, chunked over factors.
+		zCons := z
+		pool.run(numFactChunks, func(chunk int) {
+			lo := chunk * factorChunk
+			hi := lo + factorChunk
+			if hi > len(factors) {
+				hi = len(factors)
+			}
+			pp := 0.0
+			for _, f := range factors[lo:hi] {
+				for k, v := range f.vars {
+					r := f.y[k] - zCons[v]
+					f.u[k] += r
+					pp += r * r
+				}
+			}
+			primalPart[chunk] = pp
+		})
+		// Reduce partials in chunk order (deterministic).
 		primal, dual := 0.0, 0.0
-		for _, f := range factors {
-			for k, v := range f.vars {
-				r := f.y[k] - z[v]
-				f.u[k] += r
-				primal += r * r
-				d := z[v] - zOld[v]
-				dual += d * d
-			}
+		for _, p := range primalPart {
+			primal += p
+		}
+		for _, d := range dualPart {
+			dual += d
 		}
 		if math.Sqrt(primal) < opts.Epsilon && math.Sqrt(dual)*rho < opts.Epsilon {
 			iter++
@@ -277,5 +376,75 @@ func (f *factor) localStep(z []float64, rho float64) {
 	t := lin(v) / f.norm2
 	for k := range v {
 		v[k] -= t * f.coefs[k]
+	}
+}
+
+// chunkPool runs phases of chunked work on persistent workers. A nil
+// pool (parallelism ≤ 1) runs chunks inline; otherwise each run
+// dispatches the phase to every worker, which race through the chunk
+// indices via a shared atomic counter. The pool is created once per
+// solve, so the per-phase cost is one channel send per worker plus a
+// WaitGroup barrier — cheap enough for thousands of ADMM iterations.
+type chunkPool struct {
+	workers int
+	next    atomic.Int64
+	wg      sync.WaitGroup
+	jobs    []chan chunkJob
+}
+
+type chunkJob struct {
+	n  int
+	fn func(chunk int)
+}
+
+// newChunkPool returns nil when workers ≤ 1 (inline execution).
+func newChunkPool(workers int) *chunkPool {
+	if workers <= 1 {
+		return nil
+	}
+	p := &chunkPool{workers: workers, jobs: make([]chan chunkJob, workers)}
+	for w := range p.jobs {
+		ch := make(chan chunkJob, 1)
+		p.jobs[w] = ch
+		go func() {
+			for j := range ch {
+				for {
+					c := int(p.next.Add(1)) - 1
+					if c >= j.n {
+						break
+					}
+					j.fn(c)
+				}
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes fn(0..n-1) across the pool and returns when every
+// chunk is done.
+func (p *chunkPool) run(n int, fn func(chunk int)) {
+	if p == nil {
+		for c := 0; c < n; c++ {
+			fn(c)
+		}
+		return
+	}
+	p.next.Store(0)
+	p.wg.Add(p.workers)
+	for _, ch := range p.jobs {
+		ch <- chunkJob{n: n, fn: fn}
+	}
+	p.wg.Wait()
+}
+
+// close shuts the workers down; safe on a nil (inline) pool.
+func (p *chunkPool) close() {
+	if p == nil {
+		return
+	}
+	for _, ch := range p.jobs {
+		close(ch)
 	}
 }

@@ -1,0 +1,199 @@
+package psl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// equivPrograms builds a spread of programs + databases exercising
+// joins, constants, negation, priors, hard rules, squared hinges and
+// repeated variables.
+func equivPrograms() []struct {
+	name string
+	prog *Program
+	db   *Database
+} {
+	var out []struct {
+		name string
+		prog *Program
+		db   *Database
+	}
+	add := func(name string, prog *Program, db *Database) {
+		out = append(out, struct {
+			name string
+			prog *Program
+			db   *Database
+		}{name, prog, db})
+	}
+
+	{ // The selection-style program of the grounding benchmark.
+		p := NewProgram()
+		p.MustAddPredicate("Covers", 2, Closed)
+		p.MustAddPredicate("In", 1, Open)
+		p.MustAddPredicate("Explained", 1, Open)
+		p.MustAddRule("1.5: Covers(M, T) & In(M) -> Explained(T)")
+		p.MustAddRule("0.25: !In(M)")
+		db := NewDatabase()
+		rng := rand.New(rand.NewSource(11))
+		for m := 0; m < 25; m++ {
+			for t := 0; t < 12; t++ {
+				if rng.Intn(3) == 0 {
+					db.Observe("Covers", []string{fmt.Sprintf("m%d", m), fmt.Sprintf("t%d", t)}, rng.Float64())
+				}
+			}
+			db.AddTarget("In", fmt.Sprintf("m%d", m))
+		}
+		for t := 0; t < 12; t++ {
+			db.AddTarget("Explained", fmt.Sprintf("t%d", t))
+		}
+		add("selection", p, db)
+	}
+
+	{ // Transitivity with squared hinges, constants and a hard rule.
+		p := NewProgram()
+		p.MustAddPredicate("Similar", 2, Closed)
+		p.MustAddPredicate("Same", 2, Open)
+		p.MustAddPredicate("Seed", 1, Closed)
+		p.MustAddRule("0.8: Similar(A, B) & Same(B, C) -> Same(A, C) ^2")
+		p.MustAddRule("hard: Seed(A) -> Same(A, 'a')")
+		p.MustAddRule("0.2: !Same(A, B)")
+		db := NewDatabase()
+		names := []string{"a", "b", "c", "d", "e"}
+		rng := rand.New(rand.NewSource(23))
+		for _, x := range names {
+			for _, y := range names {
+				if x != y && rng.Intn(2) == 0 {
+					db.Observe("Similar", []string{x, y}, 0.3+0.7*rng.Float64())
+				}
+				db.AddTarget("Same", x, y)
+			}
+		}
+		db.Observe("Seed", []string{"a"}, 1)
+		db.Observe("Seed", []string{"c"}, 0.6)
+		add("transitivity", p, db)
+	}
+
+	{ // Negated closed body literal + repeated variable + closed head.
+		p := NewProgram()
+		p.MustAddPredicate("Edge", 2, Closed)
+		p.MustAddPredicate("Blocked", 1, Closed)
+		p.MustAddPredicate("On", 1, Open)
+		p.MustAddRule("1.0: Edge(X, X) & !Blocked(X) -> On(X)")
+		p.MustAddRule("2.0: Edge(X, Y) & On(X) -> On(Y)")
+		p.MustAddRule("0.5: On(X) -> Blocked(X)")
+		db := NewDatabase()
+		for i := 0; i < 8; i++ {
+			db.Observe("Edge", []string{fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", (i*3)%8)}, 1)
+			if i%2 == 0 {
+				db.Observe("Edge", []string{fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i)}, 0.9)
+			}
+			db.Observe("Blocked", []string{fmt.Sprintf("n%d", i)}, float64(i)/10)
+			db.AddTarget("On", fmt.Sprintf("n%d", i))
+		}
+		add("negation", p, db)
+	}
+	return out
+}
+
+// TestGroundMatchesReference is the differential test for the interned
+// grounder: against GroundReference it must produce the same variable
+// set, the same objective at random assignments, and the same
+// feasibility verdicts.
+func TestGroundMatchesReference(t *testing.T) {
+	for _, tc := range equivPrograms() {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Ground(tc.prog, tc.db)
+			if err != nil {
+				t.Fatalf("Ground: %v", err)
+			}
+			want, err := GroundReference(tc.prog, tc.db)
+			if err != nil {
+				t.Fatalf("GroundReference: %v", err)
+			}
+			assertMRFsEquivalent(t, got, want)
+		})
+	}
+}
+
+// assertMRFsEquivalent checks semantic equality of two MRFs that may
+// in principle order variables differently: same variable names, and
+// identical objective/feasibility at shared random assignments.
+func assertMRFsEquivalent(t *testing.T, got, want *MRF) {
+	t.Helper()
+	if got.NumVars() != want.NumVars() {
+		t.Fatalf("NumVars: got %d, want %d", got.NumVars(), want.NumVars())
+	}
+	if len(got.Potentials) != len(want.Potentials) {
+		t.Fatalf("Potentials: got %d, want %d", len(got.Potentials), len(want.Potentials))
+	}
+	if len(got.Constraints) != len(want.Constraints) {
+		t.Fatalf("Constraints: got %d, want %d", len(got.Constraints), len(want.Constraints))
+	}
+	// Map want's variable order onto got's via names.
+	perm := make([]int, want.NumVars())
+	for i, name := range want.varNames {
+		j := got.VarNamed(name)
+		if j < 0 {
+			t.Fatalf("variable %q missing from interned grounding", name)
+		}
+		perm[i] = j
+	}
+	rng := rand.New(rand.NewSource(1))
+	xw := make([]float64, want.NumVars())
+	xg := make([]float64, got.NumVars())
+	for trial := 0; trial < 40; trial++ {
+		for i := range xw {
+			xw[i] = rng.Float64()
+			xg[perm[i]] = xw[i]
+		}
+		ow, og := want.Objective(xw), got.Objective(xg)
+		if math.Abs(ow-og) > 1e-9*(1+math.Abs(ow)) {
+			t.Fatalf("trial %d: objective %v != reference %v", trial, og, ow)
+		}
+		for _, tol := range []float64{1e-6, 1e-3, 0.1} {
+			if fw, fg := want.Feasible(xw, tol), got.Feasible(xg, tol); fw != fg {
+				t.Fatalf("trial %d: feasibility at tol %g: %v != reference %v", trial, tol, fg, fw)
+			}
+		}
+	}
+	// MAP solutions must agree too (same convex problem).
+	opts := DefaultADMMOptions()
+	opts.MaxIterations = 2000
+	sg, errG := SolveMAP(got, opts)
+	sw, errW := SolveMAP(want, opts)
+	if (errG == nil) != (errW == nil) {
+		t.Fatalf("solve errors differ: %v vs %v", errG, errW)
+	}
+	if sg != nil && sw != nil && math.Abs(sg.Objective-sw.Objective) > 1e-6*(1+math.Abs(sw.Objective)) {
+		t.Fatalf("MAP objective %v != reference %v", sg.Objective, sw.Objective)
+	}
+}
+
+// TestGroundingDedup checks that duplicate observations and targets
+// collapse identically in both grounders (canonical-key dedup).
+func TestGroundingDedup(t *testing.T) {
+	p := NewProgram()
+	p.MustAddPredicate("R", 2, Closed)
+	p.MustAddPredicate("A", 1, Open)
+	p.MustAddRule("1.0: R(X, Y) & A(X) -> A(Y)")
+	db := NewDatabase()
+	for i := 0; i < 3; i++ { // duplicates on purpose
+		db.Observe("R", []string{"u", "v"}, 1)
+		db.AddTarget("A", "u")
+		db.AddTarget("A", "v")
+	}
+	got, err := Ground(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Potentials) != 1 {
+		t.Fatalf("duplicate rows must ground once, got %d potentials", len(got.Potentials))
+	}
+	want, err := GroundReference(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMRFsEquivalent(t, got, want)
+}

@@ -1,0 +1,244 @@
+package psl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file preserves the original string-based grounder as a
+// reference implementation. The production grounder (ground.go) joins
+// over interned symbol ids with canonical-key dedup; this one joins
+// over map[string]string bindings exactly as the first version of the
+// engine did. The two are kept in lockstep by differential tests
+// (ground_equiv_test.go, core's scenario tests): same programs and
+// databases must produce MRFs with identical variables, objectives and
+// feasibility.
+
+// GroundReference grounds the program against the database with the
+// retired string-based algorithm. It exists for differential testing
+// and benchmarking of the interned grounder; production code should
+// call Ground.
+func GroundReference(prog *Program, db *Database) (*MRF, error) {
+	mrf := NewMRF()
+	for ri, rule := range prog.rules {
+		if err := refGroundRule(prog, db, mrf, rule, ri); err != nil {
+			return nil, err
+		}
+	}
+	return mrf, nil
+}
+
+// refRows reconstructs the string rows of a predicate's observations
+// or targets from the interned storage.
+func refRows(db *Database, pred string, open bool) [][]string {
+	var rows [][]sym
+	if open {
+		rows = db.targetsByPred[pred]
+	} else {
+		rows = db.obsByPred[pred]
+	}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = db.rowStrings(r)
+	}
+	return out
+}
+
+// refGroundRule enumerates bindings and emits potentials/constraints.
+func refGroundRule(prog *Program, db *Database, mrf *MRF, rule Rule, ruleIndex int) error {
+	// Literal processing order: positive closed body literals first
+	// (join over observations), then open literals (join over
+	// targets), then the rest (fully bound by now).
+	all := make([]Literal, 0, len(rule.Body)+len(rule.Head))
+	inHead := make([]bool, 0, cap(all))
+	for _, l := range rule.Body {
+		all = append(all, l)
+		inHead = append(inHead, false)
+	}
+	for _, l := range rule.Head {
+		all = append(all, l)
+		inHead = append(inHead, true)
+	}
+	type litRef struct {
+		lit  Literal
+		head bool
+	}
+	var anchors []litRef // literals used to bind variables
+	for i, l := range all {
+		pr, _ := prog.Predicate(l.Pred)
+		if !l.Negated && pr.Open == Closed && !inHead[i] {
+			anchors = append(anchors, litRef{l, inHead[i]})
+		} else if pr.Open == Open {
+			anchors = append(anchors, litRef{l, inHead[i]})
+		}
+	}
+
+	bindings := []map[string]string{{}}
+	for _, a := range anchors {
+		pr, _ := prog.Predicate(a.lit.Pred)
+		rows := refRows(db, a.lit.Pred, pr.Open == Open)
+		var next []map[string]string
+		for _, b := range bindings {
+			if _, ok := refSubstitute(a.lit, b); ok {
+				// Fully bound already: nothing to join; presence is not
+				// required for closed positive body literals (soft value
+				// may be 0, pruned later). Keep binding.
+				next = append(next, b)
+				continue
+			}
+			for _, row := range rows {
+				if nb, ok := refUnify(a.lit, row, b); ok {
+					next = append(next, nb)
+				}
+			}
+		}
+		bindings = refDedupBindings(next)
+		if len(bindings) == 0 {
+			return nil
+		}
+	}
+
+	for _, b := range bindings {
+		if err := refEmitGround(prog, db, mrf, rule, ruleIndex, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refSubstitute applies binding b to the literal; ok is false when
+// some variable is unbound.
+func refSubstitute(l Literal, b map[string]string) ([]string, bool) {
+	out := make([]string, len(l.Terms))
+	for i, t := range l.Terms {
+		if t.IsConst {
+			out[i] = t.Name
+			continue
+		}
+		v, ok := b[t.Name]
+		if !ok {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
+// refUnify matches the literal's terms against a row, extending b.
+func refUnify(l Literal, row []string, b map[string]string) (map[string]string, bool) {
+	if len(l.Terms) != len(row) {
+		return nil, false
+	}
+	nb := b
+	copied := false
+	for i, t := range l.Terms {
+		if t.IsConst {
+			if t.Name != row[i] {
+				return nil, false
+			}
+			continue
+		}
+		if v, ok := nb[t.Name]; ok {
+			if v != row[i] {
+				return nil, false
+			}
+			continue
+		}
+		if !copied {
+			nb = make(map[string]string, len(b)+2)
+			for k, v := range b {
+				nb[k] = v
+			}
+			copied = true
+		}
+		nb[t.Name] = row[i]
+	}
+	if !copied {
+		nb = make(map[string]string, len(b))
+		for k, v := range b {
+			nb[k] = v
+		}
+	}
+	return nb, true
+}
+
+func refDedupBindings(bs []map[string]string) []map[string]string {
+	seen := make(map[string]bool, len(bs))
+	out := bs[:0]
+	for _, b := range bs {
+		keys := make([]string, 0, len(b))
+		for k := range b {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			sb.WriteString(k)
+			sb.WriteByte('=')
+			sb.WriteString(b[k])
+			sb.WriteByte(';')
+		}
+		sig := sb.String()
+		if !seen[sig] {
+			seen[sig] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// refEmitGround instantiates the rule under binding b and adds the
+// resulting potential or constraint.
+func refEmitGround(prog *Program, db *Database, mrf *MRF, rule Rule, ruleIndex int, b map[string]string) error {
+	var terms []LinTerm
+	c := 0.0
+	if len(rule.Body) == 0 {
+		// Prior: distance = 1 − I(head literal); for a negated literal
+		// that is the raw variable value.
+		c = 1
+	} else {
+		c = -float64(len(rule.Body) - 1)
+	}
+	add := func(l Literal, sign float64) error {
+		args, ok := refSubstitute(l, b)
+		if !ok {
+			return fmt.Errorf("psl: rule %s: unbound variable at emit time", rule)
+		}
+		pr, _ := prog.Predicate(l.Pred)
+		// I(literal) = v or 1−v. The literal enters the distance with
+		// the given sign (body +, head −).
+		if pr.Open == Closed {
+			v := db.ObservedValue(l.Pred, args)
+			if l.Negated {
+				v = 1 - v
+			}
+			c += sign * v
+			return nil
+		}
+		vi := mrf.AtomVar(l.Pred, args...)
+		if l.Negated {
+			c += sign * 1
+			terms = append(terms, LinTerm{Var: vi, Coef: -sign})
+		} else {
+			terms = append(terms, LinTerm{Var: vi, Coef: sign})
+		}
+		return nil
+	}
+	for _, l := range rule.Body {
+		if err := add(l, +1); err != nil {
+			return err
+		}
+	}
+	for _, l := range rule.Head {
+		if err := add(l, -1); err != nil {
+			return err
+		}
+	}
+	terms = mergeTerms(terms)
+	if rule.Hard {
+		return mrf.AddConstraint(Constraint{Terms: terms, Const: c, Cmp: LE})
+	}
+	mrf.AddPotential(Potential{Weight: rule.Weight, Squared: rule.Squared, Terms: terms, Const: c, RuleIndex: ruleIndex})
+	return nil
+}

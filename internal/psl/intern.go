@@ -1,0 +1,61 @@
+package psl
+
+// Symbol interning for the grounder's hot path. Grounding joins rule
+// literals against database rows and dedups bindings and ground atoms;
+// doing that with strings means building a fresh key string per
+// candidate binding (the old implementation sorted a map[string]string
+// and concatenated it). Interning every constant once into a dense
+// uint32 id turns bindings into small fixed-width []sym slices whose
+// canonical key is just their raw bytes.
+
+// sym is an interned symbol (constant or predicate name) id.
+type sym uint32
+
+// unboundSym marks an unbound variable slot in a binding.
+const unboundSym = ^sym(0)
+
+// symtab is an append-only string interner.
+type symtab struct {
+	ids  map[string]sym
+	strs []string
+}
+
+func newSymtab() *symtab {
+	return &symtab{ids: make(map[string]sym)}
+}
+
+// intern returns the id of s, assigning the next free one if new.
+func (t *symtab) intern(s string) sym {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := sym(len(t.strs))
+	t.ids[s] = id
+	t.strs = append(t.strs, s)
+	return id
+}
+
+// id looks up s without interning it.
+func (t *symtab) id(s string) (sym, bool) {
+	id, ok := t.ids[s]
+	return id, ok
+}
+
+// str returns the string of an interned id.
+func (t *symtab) str(id sym) string { return t.strs[id] }
+
+// appendKey appends the canonical byte encoding of a ground atom
+// (predicate id followed by argument ids, 4 little-endian bytes each)
+// to buf. string(buf) is the atom's dedup key; Go compiles map lookups
+// with a string([]byte) key without allocating.
+func appendKey(buf []byte, pred sym, args []sym) []byte {
+	buf = appendSym(buf, pred)
+	for _, a := range args {
+		buf = appendSym(buf, a)
+	}
+	return buf
+}
+
+func appendSym(buf []byte, s sym) []byte {
+	return append(buf, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+}

@@ -212,8 +212,10 @@ func WithBudget(d time.Duration) SolveOption { return core.WithBudget(d) }
 // WithProgress registers a progress-event callback on a Solve call.
 func WithProgress(fn func(SolveEvent)) SolveOption { return core.WithProgress(fn) }
 
-// WithParallelism bounds the worker pools of a Solve call (currently
-// the Prepare pool); n ≤ 0 means GOMAXPROCS.
+// WithParallelism bounds the worker pools of a Solve call (the
+// Prepare pool and the collective solver's ADMM workers); n ≤ 0 means
+// GOMAXPROCS. ADMM iterates are bit-identical at every parallelism
+// level, so this only changes speed, never results.
 func WithParallelism(n int) SolveOption { return core.WithParallelism(n) }
 
 // WithSeed seeds randomised tie-breaking on a Solve call.

@@ -18,10 +18,15 @@
 //	-update-baseline     rewrite FILE from this run instead of gating
 //	-baseline-solvers    solvers recorded into the baseline
 //	                     (default collective — the ADMM gate)
+//	-prepare-scale NAME  scale whose prepareMillis the baseline gates
+//	                     (default M; recorded only when the run
+//	                     includes that scale)
 //	-compare-admm        also run the serial-vs-parallel ADMM
 //	                     comparison on the M scenario
 //	-strict-compare      exit non-zero when -compare-admm sees no
 //	                     speedup on a multi-core machine
+//	-cpuprofile FILE     write a pprof CPU profile of the run
+//	-memprofile FILE     write a pprof heap profile at exit
 //
 // Exit codes: 0 ok, 1 usage/run error, 2 perf gate or comparison
 // failure.
@@ -32,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,10 +61,41 @@ func run() int {
 		gate            = flag.Float64("gate", 20, "allowed solve-time regression in percent vs -baseline")
 		updateBaseline  = flag.Bool("update-baseline", false, "rewrite -baseline from this run instead of gating")
 		baselineSolvers = flag.String("baseline-solvers", "collective", "solvers recorded by -update-baseline (comma list, or all)")
+		prepareScale    = flag.String("prepare-scale", "M", "scale whose prepareMillis -update-baseline records as the prepare gate (empty disables)")
 		compareADMM     = flag.Bool("compare-admm", false, "run the serial-vs-parallel ADMM comparison on the M scenario")
 		strictCompare   = flag.Bool("strict-compare", false, "fail -compare-admm when no speedup on a multi-core machine")
+		cpuprofile      = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile      = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrun:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrun:", err)
+			}
+		}()
+	}
 
 	scales, err := parseScales(*scaleFlag)
 	if err != nil {
@@ -105,6 +143,13 @@ func run() int {
 				gated = strings.Split(*baselineSolvers, ",")
 			}
 			b := bench.BaselineFrom(reports, scale, gated...)
+			if *prepareScale != "" && !b.RecordPrepare(reports, *prepareScale, gated...) {
+				// Writing a baseline without the prepare gate silently
+				// disarms the CI prepare check — make it loud.
+				fmt.Fprintf(os.Stderr,
+					"benchrun: warning: no usable %s-scale measurement; baseline written WITHOUT a prepare gate (run with -scale including %s to record one)\n",
+					*prepareScale, *prepareScale)
+			}
 			b.RecordedOn = fmt.Sprintf("go %s, GOMAXPROCS=%d", reports[0].GoVersion, reports[0].GOMAXPROCS)
 			if err := bench.WriteBaseline(*baselinePath, b); err != nil {
 				fmt.Fprintln(os.Stderr, "benchrun:", err)

@@ -151,6 +151,69 @@ func TestBaselineGate(t *testing.T) {
 	}
 }
 
+// fakePrepareReports builds a report set with given normalised solve
+// and prepare times at two scales (calibration pinned to 1ms).
+func fakePrepareReports(solveS, prepareM float64) []*Report {
+	return []*Report{{
+		Solver:            "collective",
+		CalibrationMillis: 1,
+		Results: []Result{
+			{Solver: "collective", Scale: "S", SolveMillis: solveS, PrepareMillis: solveS},
+			{Solver: "collective", Scale: "M", SolveMillis: 99, PrepareMillis: prepareM},
+		},
+	}}
+}
+
+func TestBaselinePrepareGate(t *testing.T) {
+	base := &Baseline{
+		Scale:             "S",
+		NormalizedSolve:   map[string]float64{"collective": 10},
+		PrepareScale:      "M",
+		NormalizedPrepare: map[string]float64{"collective": 30},
+	}
+	if err := CheckBaseline(base, fakePrepareReports(10, 30), 20); err != nil {
+		t.Errorf("at baseline: %v", err)
+	}
+	if err := CheckBaseline(base, fakePrepareReports(10, 35), 20); err != nil {
+		t.Errorf("prepare +17%% must pass: %v", err)
+	}
+	if err := CheckBaseline(base, fakePrepareReports(10, 37), 20); err == nil {
+		t.Error("prepare +23% must fail the 20% gate")
+	} else if !strings.Contains(err.Error(), "prepare") {
+		t.Errorf("failure must name the prepare phase: %v", err)
+	}
+	// A prepare gate with no M measurement fails rather than passing
+	// vacuously.
+	onlyS := fakePrepareReports(10, 30)
+	onlyS[0].Results = onlyS[0].Results[:1]
+	if err := CheckBaseline(base, onlyS, 20); err == nil {
+		t.Error("missing prepare-scale measurement must fail the gate")
+	}
+	// Without a recorded prepare gate, only solve is checked.
+	noPrep := &Baseline{Scale: "S", NormalizedSolve: map[string]float64{"collective": 10}}
+	if err := CheckBaseline(noPrep, onlyS, 20); err != nil {
+		t.Errorf("solve-only baseline must ignore prepare: %v", err)
+	}
+}
+
+func TestRecordPrepare(t *testing.T) {
+	b := &Baseline{Scale: "S", NormalizedSolve: map[string]float64{"collective": 10}}
+	if !b.RecordPrepare(fakePrepareReports(10, 30), "M", "collective") {
+		t.Fatal("RecordPrepare with a usable M measurement must report true")
+	}
+	if b.PrepareScale != "M" || b.NormalizedPrepare["collective"] != 30 {
+		t.Fatalf("RecordPrepare = %+v", b)
+	}
+	// No measurement at the scale leaves the baseline unchanged.
+	b2 := &Baseline{Scale: "S", NormalizedSolve: map[string]float64{"collective": 10}}
+	if b2.RecordPrepare(fakePrepareReports(10, 30), "L", "collective") {
+		t.Fatal("RecordPrepare at an absent scale must report false")
+	}
+	if b2.PrepareScale != "" || b2.NormalizedPrepare != nil {
+		t.Fatalf("RecordPrepare at absent scale = %+v", b2)
+	}
+}
+
 func TestBaselineRoundTrip(t *testing.T) {
 	reports, err := Run(context.Background(), Options{
 		Scales:  []Spec{tinySpec()},

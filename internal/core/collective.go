@@ -165,20 +165,17 @@ func (s CollectiveSolver) buildDirectMRF(p *Problem) *psl.MRF {
 	for i := 0; i < n; i++ {
 		inVar[i] = mrf.AtomVar("In", fmt.Sprintf("m%d", i))
 	}
-	// Per-tuple explanation variables and their linking constraints.
-	// J tuples covered by no candidate contribute a constant w₁ and
-	// are omitted (Section III-C preprocessing).
-	type supporter struct {
-		cand int
-		cov  float64
-	}
-	supporters := make(map[int][]supporter)
-	for i := range p.analyses {
-		for j, c := range p.analyses[i].Covers {
-			supporters[j] = append(supporters[j], supporter{i, c})
+	// Per-tuple explanation variables and their linking constraints,
+	// straight off the inverted incidence (tuple index ascending, so
+	// the ground MRF — and hence the ADMM trajectory — is
+	// reproducible). J tuples covered by no candidate contribute a
+	// constant w₁ and are omitted (Section III-C preprocessing).
+	inc := p.Incidence()
+	for j := 0; j < inc.NumTuples(); j++ {
+		cands, covs := inc.Row(j)
+		if len(cands) == 0 {
+			continue
 		}
-	}
-	for j, sup := range supporters {
 		ev := mrf.AtomVar("Explained", fmt.Sprintf("t%d", j))
 		// w₁ · max(0, 1 − Explained(t))
 		mrf.AddPotential(psl.Potential{
@@ -188,8 +185,8 @@ func (s CollectiveSolver) buildDirectMRF(p *Problem) *psl.MRF {
 		})
 		// Explained(t) − Σ covers·In(θ) ≤ 0
 		terms := []psl.LinTerm{{Var: ev, Coef: 1}}
-		for _, su := range sup {
-			terms = append(terms, psl.LinTerm{Var: inVar[su.cand], Coef: -su.cov})
+		for k, i := range cands {
+			terms = append(terms, psl.LinTerm{Var: inVar[i], Coef: -covs[k]})
 		}
 		// AddConstraint only fails for constant constraints; this one
 		// always has at least the Explained term.

@@ -35,17 +35,18 @@ func syntheticProblem(n, nj int) *Problem {
 		p.jidx = cover.IndexJ(J)
 		p.analyses = make([]cover.Analysis, n)
 		for i := range p.analyses {
-			covers := make(map[int]float64, nj)
+			pairs := make([]cover.CoverPair, nj)
 			for j := 0; j < nj; j++ {
-				covers[j] = 0.3 + 0.6*rng.Float64()
+				pairs[j] = cover.CoverPair{J: int32(j), Cov: 0.3 + 0.6*rng.Float64()}
 			}
 			p.analyses[i] = cover.Analysis{
 				TGDIndex: i,
 				Size:     1,
-				Covers:   covers,
+				Pairs:    pairs,
 				Errors:   rng.Float64(),
 			}
 		}
+		p.incidence = cover.BuildIncidence(nj, p.analyses)
 	})
 	return p
 }

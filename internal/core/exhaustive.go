@@ -10,10 +10,14 @@ import (
 // branch and bound over the 2^|C| selections. It is the ground truth
 // for small candidate sets (the problem is NP-hard; see the SET COVER
 // reduction tests) and the reference for the E6 approximation-quality
-// experiment.
+// experiment. Beyond toy sizes the search is expected to run under a
+// WithBudget soft budget, which truncates it to an anytime solver
+// returning the incumbent.
 type ExhaustiveSolver struct {
 	// MaxCandidates guards against accidental exponential blowups;
-	// Solve returns an error above it. Default 26.
+	// Solve returns an error above it. Default 128. The selection
+	// state is a bitset of uint64 words, so the cap costs only
+	// ⌈n/64⌉ words per snapshot.
 	MaxCandidates int
 }
 
@@ -24,6 +28,13 @@ func (s ExhaustiveSolver) Name() string { return "exhaustive" }
 // (nodes between context checks).
 const checkEvery = 1024
 
+// defaultExhaustiveCap bounds the search to 2 bitset words unless the
+// caller raises MaxCandidates explicitly.
+const defaultExhaustiveCap = 128
+
+// selWords returns the number of uint64 words covering n candidates.
+func selWords(n int) int { return (n + 63) / 64 }
+
 // Solve implements Solver. The search checks the context every
 // checkEvery nodes: a cancelled ctx aborts with ctx.Err(), while an
 // expired WithBudget stops expanding and returns the incumbent
@@ -31,7 +42,7 @@ const checkEvery = 1024
 func (s ExhaustiveSolver) Solve(ctx context.Context, p *Problem, options ...SolveOption) (*Selection, error) {
 	limit := s.MaxCandidates
 	if limit == 0 {
-		limit = 26
+		limit = defaultExhaustiveCap
 	}
 	if p.NumCandidates() > limit {
 		return nil, fmt.Errorf("core: exhaustive solver limited to %d candidates, got %d", limit, p.NumCandidates())
@@ -55,27 +66,38 @@ func (s ExhaustiveSolver) Solve(ctx context.Context, p *Problem, options ...Solv
 	for i := range p.analyses {
 		a := &p.analyses[i]
 		cost[i] = p.Weights.Error*a.Errors + p.Weights.Size*float64(a.Size)
-		useless[i] = len(a.Covers) == 0
+		useless[i] = len(a.Pairs) == 0
 	}
 
-	// bestCovRemaining[i][j]: the max coverage of J tuple j achievable
+	// bestCovSuffix[i][j]: the max coverage of J tuple j achievable
 	// using candidates i..n-1 — used for the lower bound.
 	bestCovSuffix := make([][]float64, n+1)
 	bestCovSuffix[n] = make([]float64, nj)
 	for i := n - 1; i >= 0; i-- {
 		row := append([]float64(nil), bestCovSuffix[i+1]...)
-		for j, c := range p.analyses[i].Covers {
-			if c > row[j] {
-				row[j] = c
+		for _, pr := range p.analyses[i].Pairs {
+			if pr.Cov > row[pr.J] {
+				row[pr.J] = pr.Cov
 			}
 		}
 		bestCovSuffix[i] = row
 	}
 
-	sel := make([]bool, n)
-	best := append([]bool(nil), sel...)
-	bestVal := p.Objective(sel).Total()
+	// Selection state as uint64 bitset words: cheap to snapshot into
+	// the incumbent at leaves, and sized by the candidate cap rather
+	// than a hard-coded word.
+	words := selWords(n)
+	sel := make([]uint64, words)
+	best := make([]uint64, words)
+	bestVal := p.Objective(make([]bool, n)).Total()
 	maxCov := make([]float64, nj)
+	// Undo stack for maxCov updates, shared across recursion levels
+	// (each level records its mark), so branching allocates nothing.
+	type undo struct {
+		j   int32
+		old float64
+	}
+	undos := make([]undo, 0, 4*n)
 	nodes := 0
 	var stopErr error // caller cancellation, unwinds the recursion
 	truncated := false
@@ -131,23 +153,20 @@ func (s ExhaustiveSolver) Solve(ctx context.Context, p *Problem, options ...Solv
 		// Branch: include candidate i first (tends to tighten bounds
 		// when coverage is valuable), then exclude.
 		a := &p.analyses[i]
-		type undo struct {
-			j   int
-			old float64
-		}
-		var undos []undo
-		for j, c := range a.Covers {
-			if c > maxCov[j] {
-				undos = append(undos, undo{j, maxCov[j]})
-				maxCov[j] = c
+		mark := len(undos)
+		for _, pr := range a.Pairs {
+			if pr.Cov > maxCov[pr.J] {
+				undos = append(undos, undo{pr.J, maxCov[pr.J]})
+				maxCov[pr.J] = pr.Cov
 			}
 		}
-		sel[i] = true
+		sel[i>>6] |= 1 << (uint(i) & 63)
 		rec(i+1, linear+cost[i])
-		sel[i] = false
-		for _, u := range undos {
-			maxCov[u.j] = u.old
+		sel[i>>6] &^= 1 << (uint(i) & 63)
+		for k := len(undos) - 1; k >= mark; k-- {
+			maxCov[undos[k].j] = undos[k].old
 		}
+		undos = undos[:mark]
 		rec(i+1, linear)
 	}
 	rec(0, 0)
@@ -155,9 +174,13 @@ func (s ExhaustiveSolver) Solve(ctx context.Context, p *Problem, options ...Solv
 		return nil, stopErr
 	}
 
+	chosen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		chosen[i] = best[i>>6]&(1<<(uint(i)&63)) != 0
+	}
 	return &Selection{
-		Chosen:     best,
-		Objective:  p.Objective(best),
+		Chosen:     chosen,
+		Objective:  p.Objective(chosen),
 		Solver:     s.Name(),
 		Runtime:    time.Since(start),
 		Iterations: nodes,

@@ -5,7 +5,11 @@ package core
 // evaluating F from scratch costs O(|M|·nnz + |J|) each time. The
 // Evaluator maintains the per-tuple coverage maxima and answers flip
 // deltas in O(nnz(i)), falling back to a per-tuple rescan only when
-// removing the candidate that attains a tuple's maximum.
+// removing the candidate that attains a tuple's maximum — and that
+// rescan walks the inverted incidence row of the tuple (only the
+// candidates covering it), not the whole selection. All state lives
+// in flat slices sized once at construction; FlipDelta and Flip
+// allocate nothing.
 
 // Evaluator tracks F(sel) under single flips.
 type Evaluator struct {
@@ -67,23 +71,24 @@ func (e *Evaluator) FlipDelta(i int) float64 {
 	w1 := e.p.Weights.Explain
 	if !e.sel[i] {
 		d := e.cost[i]
-		for j, c := range a.Covers {
-			if c > e.maxCov[j]+evalEps {
-				d -= w1 * (c - e.maxCov[j])
+		for _, pr := range a.Pairs {
+			if pr.Cov > e.maxCov[pr.J]+evalEps {
+				d -= w1 * (pr.Cov - e.maxCov[pr.J])
 			}
 		}
 		return d
 	}
 	d := -e.cost[i]
-	for j, c := range a.Covers {
-		if c < e.maxCov[j]-evalEps {
+	for _, pr := range a.Pairs {
+		j := int(pr.J)
+		if pr.Cov < e.maxCov[j]-evalEps {
 			continue // i does not attain j's max
 		}
 		if e.cnt[j] > 1 {
 			continue // another selected candidate also attains it
 		}
 		// i is the sole maximiser: removing it drops j's coverage to
-		// the second best, found by rescan.
+		// the second best, found by rescanning j's incidence row.
 		second := e.rescanMax(j, i)
 		d += w1 * (e.maxCov[j] - second)
 	}
@@ -99,14 +104,15 @@ func (e *Evaluator) Flip(i int) float64 {
 	if !e.sel[i] {
 		delta = e.cost[i]
 		e.linear += e.cost[i]
-		for j, c := range a.Covers {
+		for _, pr := range a.Pairs {
+			j := int(pr.J)
 			switch {
-			case c > e.maxCov[j]+evalEps:
-				delta -= w1 * (c - e.maxCov[j])
-				e.unexplained -= w1 * (c - e.maxCov[j])
-				e.maxCov[j] = c
+			case pr.Cov > e.maxCov[j]+evalEps:
+				delta -= w1 * (pr.Cov - e.maxCov[j])
+				e.unexplained -= w1 * (pr.Cov - e.maxCov[j])
+				e.maxCov[j] = pr.Cov
 				e.cnt[j] = 1
-			case c > e.maxCov[j]-evalEps && e.maxCov[j] > evalEps:
+			case pr.Cov > e.maxCov[j]-evalEps && e.maxCov[j] > evalEps:
 				e.cnt[j]++
 			}
 		}
@@ -116,8 +122,9 @@ func (e *Evaluator) Flip(i int) float64 {
 	delta = -e.cost[i]
 	e.linear -= e.cost[i]
 	e.sel[i] = false
-	for j, c := range a.Covers {
-		if c < e.maxCov[j]-evalEps {
+	for _, pr := range a.Pairs {
+		j := int(pr.J)
+		if pr.Cov < e.maxCov[j]-evalEps {
 			continue
 		}
 		if e.cnt[j] > 1 {
@@ -135,14 +142,15 @@ func (e *Evaluator) Flip(i int) float64 {
 }
 
 // rescanMax returns the best coverage of tuple j over selected
-// candidates excluding skip.
+// candidates excluding skip, walking only j's incidence row.
 func (e *Evaluator) rescanMax(j, skip int) float64 {
+	cands, covs := e.p.incidence.Row(j)
 	best := 0.0
-	for i, on := range e.sel {
-		if !on || i == skip {
+	for k, i := range cands {
+		if int(i) == skip || !e.sel[i] {
 			continue
 		}
-		if c, ok := e.p.analyses[i].Covers[j]; ok && c > best {
+		if c := covs[k]; c > best {
 			best = c
 		}
 	}
@@ -152,15 +160,13 @@ func (e *Evaluator) rescanMax(j, skip int) float64 {
 // rescanMaxCount is rescanMax plus the attaining count, after e.sel
 // has already been updated.
 func (e *Evaluator) rescanMaxCount(j int) (float64, int) {
+	cands, covs := e.p.incidence.Row(j)
 	best, cnt := 0.0, 0
-	for i, on := range e.sel {
-		if !on {
+	for k, i := range cands {
+		if !e.sel[i] {
 			continue
 		}
-		c, ok := e.p.analyses[i].Covers[j]
-		if !ok {
-			continue
-		}
+		c := covs[k]
 		switch {
 		case c > best+evalEps:
 			best, cnt = c, 1

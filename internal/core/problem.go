@@ -69,6 +69,7 @@ type Problem struct {
 	prepareOnce sync.Once
 	jidx        *cover.JIndex
 	analyses    []cover.Analysis
+	incidence   *cover.Incidence
 }
 
 // NewProblem builds a problem with default weights and cover options.
@@ -99,6 +100,7 @@ func (p *Problem) PrepareN(workers int) {
 	p.prepareOnce.Do(func() {
 		p.jidx = cover.IndexJ(p.J)
 		p.analyses = cover.AnalyzeN(p.I, p.jidx, p.Candidates, p.CoverOptions, workers)
+		p.incidence = cover.BuildIncidence(p.jidx.Len(), p.analyses)
 	})
 }
 
@@ -112,6 +114,14 @@ func (p *Problem) Analyses() []cover.Analysis {
 func (p *Problem) JIndex() *cover.JIndex {
 	p.Prepare()
 	return p.jidx
+}
+
+// Incidence exposes the inverted tuple→candidate evidence (after
+// Prepare); solvers use it to rescan only the candidates incident to
+// a tuple.
+func (p *Problem) Incidence() *cover.Incidence {
+	p.Prepare()
+	return p.incidence
 }
 
 // NumCandidates returns |C|.
@@ -131,9 +141,9 @@ func (p *Problem) Objective(sel []bool) Breakdown {
 		a := &p.analyses[i]
 		b.Errors += p.Weights.Error * a.Errors
 		b.Size += p.Weights.Size * float64(a.Size)
-		for j, c := range a.Covers {
-			if c > maxCov[j] {
-				maxCov[j] = c
+		for _, pr := range a.Pairs {
+			if pr.Cov > maxCov[pr.J] {
+				maxCov[pr.J] = pr.Cov
 			}
 		}
 	}

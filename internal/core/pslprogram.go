@@ -45,17 +45,20 @@ func BuildPSLProgram(p *Problem) (*psl.Program, *psl.Database, error) {
 	}
 
 	db := psl.NewDatabase()
-	covered := make(map[int]bool)
 	for i := range p.analyses {
 		m := fmt.Sprintf("m%d", i)
 		db.AddTarget("In", m)
-		for j, c := range p.analyses[i].Covers {
-			db.Observe("Covers", []string{m, fmt.Sprintf("t%d", j)}, c)
-			covered[j] = true
+		for _, pr := range p.analyses[i].Pairs {
+			db.Observe("Covers", []string{m, fmt.Sprintf("t%d", pr.J)}, pr.Cov)
 		}
 	}
-	// Only non-certain tuples enter the program (Section III-C).
-	for j := range covered {
+	// Only non-certain tuples enter the program (Section III-C), in
+	// deterministic tuple order off the inverted incidence.
+	inc := p.Incidence()
+	for j := 0; j < inc.NumTuples(); j++ {
+		if cands, _ := inc.Row(j); len(cands) == 0 {
+			continue
+		}
 		tj := fmt.Sprintf("t%d", j)
 		db.Observe("JTuple", []string{tj}, 1)
 		db.AddTarget("Explained", tj)
@@ -98,23 +101,19 @@ func GroundSelectionMRF(p *Problem) (*psl.MRF, error) {
 	if err != nil {
 		return nil, err
 	}
-	// PSL arithmetic rule: Explained(t) ≤ Σ_θ covers(θ,t)·In(θ).
-	type supporter struct {
-		cand int
-		cov  float64
-	}
-	supporters := make(map[int][]supporter)
-	for i := range p.analyses {
-		for j, c := range p.analyses[i].Covers {
-			supporters[j] = append(supporters[j], supporter{i, c})
+	// PSL arithmetic rule: Explained(t) ≤ Σ_θ covers(θ,t)·In(θ),
+	// straight off the inverted incidence.
+	inc := p.Incidence()
+	for j := 0; j < inc.NumTuples(); j++ {
+		cands, covs := inc.Row(j)
+		if len(cands) == 0 {
+			continue
 		}
-	}
-	for j, sup := range supporters {
 		ev := mrf.AtomVar("Explained", fmt.Sprintf("t%d", j))
 		terms := []psl.LinTerm{{Var: ev, Coef: 1}}
-		for _, su := range sup {
-			iv := mrf.AtomVar("In", fmt.Sprintf("m%d", su.cand))
-			terms = append(terms, psl.LinTerm{Var: iv, Coef: -su.cov})
+		for k, i := range cands {
+			iv := mrf.AtomVar("In", fmt.Sprintf("m%d", i))
+			terms = append(terms, psl.LinTerm{Var: iv, Coef: -covs[k]})
 		}
 		if err := mrf.AddConstraint(psl.Constraint{Terms: terms, Cmp: psl.LE}); err != nil {
 			return nil, err

@@ -20,10 +20,21 @@
 // With these definitions the appendix's numbers are reproduced
 // exactly (see the golden tests), and on full tgds they collapse to
 // the binary Eq. (4) measures.
+//
+// Analysis is the hot input of every solver, so the evidence is kept
+// sparse and index-friendly: covers values live in a sorted
+// (CSR-style) pair slice rather than a map, homomorphism search runs
+// against a posting-list index of J (data.Index), identical chase
+// blocks are analysed once and shared across candidates, and the
+// inverted tuple→candidate incidence (Incidence) lets solvers rescan
+// only the candidates touching a tuple. AnalyzeReference in
+// reference.go preserves the original scan-based map pipeline; the
+// differential tests pin the two against each other bit for bit.
 package cover
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 
 	"schemamap/internal/chase"
@@ -47,20 +58,24 @@ func DefaultOptions() Options {
 	return Options{Corroboration: true}
 }
 
-// JIndex assigns stable indices to the tuples of the data example J.
+// JIndex assigns stable indices to the tuples of the data example J
+// and carries the posting-list index the analysis probes. A tuple's
+// JIndex position equals its data.Index id.
 type JIndex struct {
 	Tuples []data.Tuple
 	byKey  map[string]int
+	idx    *data.Index
 }
 
 // IndexJ builds a JIndex over the instance.
 func IndexJ(J *data.Instance) *JIndex {
-	idx := &JIndex{byKey: make(map[string]int, J.Len())}
-	for _, t := range J.All() {
-		idx.byKey[t.Key()] = len(idx.Tuples)
-		idx.Tuples = append(idx.Tuples, t)
+	ix := &JIndex{idx: data.NewIndex(J)}
+	ix.Tuples = ix.idx.Tuples()
+	ix.byKey = make(map[string]int, len(ix.Tuples))
+	for i, t := range ix.Tuples {
+		ix.byKey[t.Key()] = i
 	}
-	return idx
+	return ix
 }
 
 // IndexOf returns the index of the tuple, or -1.
@@ -74,15 +89,24 @@ func (ix *JIndex) IndexOf(t data.Tuple) int {
 // Len returns the number of indexed tuples.
 func (ix *JIndex) Len() int { return len(ix.Tuples) }
 
+// Index returns the posting-list index over J.
+func (ix *JIndex) Index() *data.Index { return ix.idx }
+
+// CoverPair is one sparse covers entry: covers(θ, Tuples[J]) = Cov.
+type CoverPair struct {
+	J   int32
+	Cov float64
+}
+
 // Analysis holds the Eq. (9) evidence for one candidate tgd.
 type Analysis struct {
 	// TGDIndex is the candidate's index in the analysed mapping.
 	TGDIndex int
 	// Size is the tgd's size measure (atoms + existential variables).
 	Size int
-	// Covers maps J tuple indices to covers(θ, t) ∈ (0, 1]; absent
-	// indices have coverage 0.
-	Covers map[int]float64
+	// Pairs holds the non-zero covers(θ, t) values, sorted by J tuple
+	// index ascending; absent indices have coverage 0.
+	Pairs []CoverPair
 	// Errors is Σ_{t′ ∈ K_θ} creates(θ, t′): the number of distinct
 	// chase tuples with no homomorphic image in J.
 	Errors float64
@@ -93,15 +117,38 @@ type Analysis struct {
 }
 
 // CoversOf returns covers(θ, t) for J tuple index j.
-func (a *Analysis) CoversOf(j int) float64 { return a.Covers[j] }
+func (a *Analysis) CoversOf(j int) float64 {
+	k := sort.Search(len(a.Pairs), func(i int) bool { return int(a.Pairs[i].J) >= j })
+	if k < len(a.Pairs) && int(a.Pairs[k].J) == j {
+		return a.Pairs[k].Cov
+	}
+	return 0
+}
+
+// NumCovered returns the number of J tuples covered to a positive
+// degree.
+func (a *Analysis) NumCovered() int { return len(a.Pairs) }
 
 // TotalCoverage returns Σ_t covers(θ, t), a rough utility measure.
 func (a *Analysis) TotalCoverage() float64 {
 	s := 0.0
-	for _, v := range a.Covers {
-		s += v
+	for _, pr := range a.Pairs {
+		s += pr.Cov
 	}
 	return s
+}
+
+// PairsFromMap converts a j→covers map to the sorted sparse form;
+// zero entries are dropped. Used by the reference path and tests.
+func PairsFromMap(m map[int]float64) []CoverPair {
+	pairs := make([]CoverPair, 0, len(m))
+	for j, c := range m {
+		if c > 0 {
+			pairs = append(pairs, CoverPair{J: int32(j), Cov: c})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].J < pairs[b].J })
+	return pairs
 }
 
 // Analyze computes the Analysis of every candidate against the data
@@ -115,7 +162,6 @@ func Analyze(I *data.Instance, jidx *JIndex, candidates tgd.Mapping, opts Option
 // AnalyzeN is Analyze with an explicit bound on the worker pool:
 // 1 forces serial analysis, 0 or negative means GOMAXPROCS.
 func AnalyzeN(I *data.Instance, jidx *JIndex, candidates tgd.Mapping, opts Options, workers int) []Analysis {
-	J := instanceOf(jidx)
 	out := make([]Analysis, len(candidates))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -123,20 +169,26 @@ func AnalyzeN(I *data.Instance, jidx *JIndex, candidates tgd.Mapping, opts Optio
 	if workers > len(candidates) {
 		workers = len(candidates)
 	}
+	// blockMemo shares per-block cover contributions across candidates
+	// (and workers): identical chase blocks — projections and copies
+	// are rife in generated candidate sets — are analysed once.
+	var blockMemo sync.Map
 	if workers <= 1 {
+		w := newAnalyzeWorker(jidx)
 		for i, d := range candidates {
-			out[i] = analyzeOne(i, d, I, J, jidx, opts)
+			out[i] = w.analyzeOne(i, d, I, &blockMemo, opts)
 		}
 		return out
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
-	for w := 0; w < workers; w++ {
+	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			w := newAnalyzeWorker(jidx)
 			for i := range next {
-				out[i] = analyzeOne(i, candidates[i], I, J, jidx, opts)
+				out[i] = w.analyzeOne(i, candidates[i], I, &blockMemo, opts)
 			}
 		}()
 	}
@@ -150,58 +202,108 @@ func AnalyzeN(I *data.Instance, jidx *JIndex, candidates tgd.Mapping, opts Optio
 
 // AnalyzeOne computes the Analysis of a single candidate.
 func AnalyzeOne(index int, d *tgd.TGD, I, J *data.Instance, opts Options) Analysis {
-	return analyzeOne(index, d, I, J, IndexJ(J), opts)
+	jidx := IndexJ(J)
+	return newAnalyzeWorker(jidx).analyzeOne(index, d, I, new(sync.Map), opts)
 }
 
-func instanceOf(jidx *JIndex) *data.Instance {
-	J := data.NewInstance()
-	for _, t := range jidx.Tuples {
-		J.Add(t)
+// analyzeWorker bundles one worker's searcher and dense accumulation
+// scratch (two max-coverage accumulators with touched lists, so the
+// per-candidate and per-block passes never clear a full |J| array).
+type analyzeWorker struct {
+	searcher *data.Searcher
+	acc      []float64
+	accTouch []int32
+	blk      []float64
+	blkTouch []int32
+}
+
+func newAnalyzeWorker(jidx *JIndex) *analyzeWorker {
+	return &analyzeWorker{
+		searcher: data.NewSearcher(jidx.Index()),
+		acc:      make([]float64, jidx.Len()),
+		blk:      make([]float64, jidx.Len()),
 	}
-	return J
 }
 
-func analyzeOne(index int, d *tgd.TGD, I, J *data.Instance, jidx *JIndex, opts Options) Analysis {
+func (w *analyzeWorker) analyzeOne(index int, d *tgd.TGD, I *data.Instance, blockMemo *sync.Map, opts Options) Analysis {
 	res := chase.ChaseOne(I, d, nil)
 	an := Analysis{
 		TGDIndex: index,
 		Size:     d.Size(),
-		Covers:   make(map[int]float64),
 		KTuples:  res.Instance.Len(),
 		Firings:  len(res.Blocks),
 	}
 	for bi := range res.Blocks {
-		b := &res.Blocks[bi]
-		data.EnumeratePartialHoms(b.Tuples, J, opts.HomLimit, func(m data.BlockMatch) bool {
-			for i, mapped := range m.Mapped {
-				if !mapped {
-					continue
+		for _, pr := range w.blockContrib(res.Blocks[bi].Tuples, blockMemo, opts) {
+			if pr.Cov > w.acc[pr.J] {
+				if w.acc[pr.J] == 0 {
+					w.accTouch = append(w.accTouch, pr.J)
 				}
-				deg := coverageDegree(b.Tuples, i, m, opts)
-				if deg <= 0 {
-					continue
-				}
-				j := jidx.IndexOf(m.Image[i])
-				if j >= 0 && deg > an.Covers[j] {
-					an.Covers[j] = deg
-				}
+				w.acc[pr.J] = pr.Cov
 			}
-			return true
-		})
+		}
 	}
+	an.Pairs = w.drain(&w.acc, &w.accTouch)
 	for _, t := range res.Instance.All() {
-		if !data.TupleEmbeds(t, J) {
+		if !w.searcher.TupleEmbeds(t) {
 			an.Errors++
 		}
 	}
 	return an
 }
 
+// blockContrib returns the per-block evidence — the maximum coverage
+// degree each J tuple receives from any partial homomorphism of the
+// block — memoised by the block's canonical form: equal blocks up to
+// null renaming contribute identically, whichever candidate fired
+// them.
+func (w *analyzeWorker) blockContrib(block []data.Tuple, blockMemo *sync.Map, opts Options) []CoverPair {
+	key := data.BlockCanonKey(block)
+	if v, ok := blockMemo.Load(key); ok {
+		return v.([]CoverPair)
+	}
+	w.searcher.EnumeratePartialHoms(block, opts.HomLimit, func(m *data.IndexedMatch) bool {
+		for i, mapped := range m.Mapped {
+			if !mapped {
+				continue
+			}
+			deg := coverageDegree(block, i, m.Mapped, opts)
+			if deg <= 0 {
+				continue
+			}
+			if j := m.Image[i]; deg > w.blk[j] {
+				if w.blk[j] == 0 {
+					w.blkTouch = append(w.blkTouch, j)
+				}
+				w.blk[j] = deg
+			}
+		}
+		return true
+	})
+	pairs := w.drain(&w.blk, &w.blkTouch)
+	actual, _ := blockMemo.LoadOrStore(key, pairs)
+	return actual.([]CoverPair)
+}
+
+// drain converts a dense accumulator plus touched list into sorted
+// sparse pairs and resets the accumulator.
+func (w *analyzeWorker) drain(acc *[]float64, touch *[]int32) []CoverPair {
+	t := *touch
+	sort.Slice(t, func(a, b int) bool { return t[a] < t[b] })
+	pairs := make([]CoverPair, len(t))
+	for k, j := range t {
+		pairs[k] = CoverPair{J: j, Cov: (*acc)[j]}
+		(*acc)[j] = 0
+	}
+	*touch = t[:0]
+	return pairs
+}
+
 // coverageDegree computes the fraction of positions of block tuple ti
-// that are covered under match m: constant positions always count;
-// null positions count iff corroborated (or always, when the
-// corroboration ablation is off).
-func coverageDegree(block []data.Tuple, ti int, m data.BlockMatch, opts Options) float64 {
+// that are covered under the match whose mapped set is mapped:
+// constant positions always count; null positions count iff
+// corroborated (or always, when the corroboration ablation is off).
+func coverageDegree(block []data.Tuple, ti int, mapped []bool, opts Options) float64 {
 	t := block[ti]
 	if len(t.Args) == 0 {
 		return 0
@@ -216,7 +318,7 @@ func coverageDegree(block []data.Tuple, ti int, m data.BlockMatch, opts Options)
 			covered++
 			continue
 		}
-		if nullCorroborated(block, ti, m, a.Name()) {
+		if nullCorroborated(block, ti, mapped, a.Name()) {
 			covered++
 		}
 	}
@@ -225,9 +327,9 @@ func coverageDegree(block []data.Tuple, ti int, m data.BlockMatch, opts Options)
 
 // nullCorroborated reports whether the null labelled lbl occurs in
 // another *mapped* tuple of the block.
-func nullCorroborated(block []data.Tuple, ti int, m data.BlockMatch, lbl string) bool {
+func nullCorroborated(block []data.Tuple, ti int, mapped []bool, lbl string) bool {
 	for j, other := range block {
-		if j == ti || !m.Mapped[j] {
+		if j == ti || !mapped[j] {
 			continue
 		}
 		for _, oa := range other.Args {
@@ -247,8 +349,8 @@ func nullCorroborated(block []data.Tuple, ti int, m data.BlockMatch, lbl string)
 func CertainUnexplained(jidx *JIndex, analyses []Analysis) []int {
 	coveredBySome := make([]bool, jidx.Len())
 	for i := range analyses {
-		for j := range analyses[i].Covers {
-			coveredBySome[j] = true
+		for _, pr := range analyses[i].Pairs {
+			coveredBySome[pr.J] = true
 		}
 	}
 	var out []int
@@ -259,3 +361,53 @@ func CertainUnexplained(jidx *JIndex, analyses []Analysis) []int {
 	}
 	return out
 }
+
+// Incidence is the inverted evidence: for every J tuple, the
+// candidates covering it with their degrees, in candidate order
+// (CSR layout). Solvers use it to rescan only the candidates incident
+// to a tuple when the selection changes.
+type Incidence struct {
+	starts []int32
+	cand   []int32
+	cov    []float64
+}
+
+// BuildIncidence inverts the analyses over nj tuples.
+func BuildIncidence(nj int, analyses []Analysis) *Incidence {
+	starts := make([]int32, nj+1)
+	total := 0
+	for i := range analyses {
+		for _, pr := range analyses[i].Pairs {
+			starts[pr.J+1]++
+			total++
+		}
+	}
+	for j := 0; j < nj; j++ {
+		starts[j+1] += starts[j]
+	}
+	inc := &Incidence{
+		starts: starts,
+		cand:   make([]int32, total),
+		cov:    make([]float64, total),
+	}
+	fill := make([]int32, nj)
+	for i := range analyses {
+		for _, pr := range analyses[i].Pairs {
+			k := starts[pr.J] + fill[pr.J]
+			inc.cand[k] = int32(i)
+			inc.cov[k] = pr.Cov
+			fill[pr.J]++
+		}
+	}
+	return inc
+}
+
+// Row returns the candidates covering J tuple j and their degrees,
+// sorted by candidate index ascending (shared slices; do not mutate).
+func (inc *Incidence) Row(j int) ([]int32, []float64) {
+	lo, hi := inc.starts[j], inc.starts[j+1]
+	return inc.cand[lo:hi], inc.cov[lo:hi]
+}
+
+// NumTuples returns the number of J tuples the incidence spans.
+func (inc *Incidence) NumTuples() int { return len(inc.starts) - 1 }

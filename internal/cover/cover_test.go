@@ -51,11 +51,11 @@ func TestAppendixTheta1(t *testing.T) {
 	// covers: task(ML,Alice,111) to degree 2/3, everything else 0.
 	jidx := IndexJ(J)
 	mlTask := jidx.IndexOf(data.NewTuple("task", "ML", "Alice", "111"))
-	if !approx(an.Covers[mlTask], 2.0/3.0) {
-		t.Errorf("covers(θ1, task(ML,Alice,111)) = %v, want 2/3", an.Covers[mlTask])
+	if !approx(an.CoversOf(mlTask), 2.0/3.0) {
+		t.Errorf("covers(θ1, task(ML,Alice,111)) = %v, want 2/3", an.CoversOf(mlTask))
 	}
-	if len(an.Covers) != 1 {
-		t.Errorf("θ1 should cover exactly one J tuple, covers = %v", an.Covers)
+	if an.NumCovered() != 1 {
+		t.Errorf("θ1 should cover exactly one J tuple, covers = %v", an.Pairs)
 	}
 	// creates: 1 for task(BigData,Bob,⊥), 0 for the ML tuple.
 	if !approx(an.Errors, 1) {
@@ -74,14 +74,14 @@ func TestAppendixTheta3(t *testing.T) {
 	mlTask := jidx.IndexOf(data.NewTuple("task", "ML", "Alice", "111"))
 	sapOrg := jidx.IndexOf(data.NewTuple("org", "111", "SAP"))
 	// Corroborated nulls: full coverage 3/3 and 2/2.
-	if !approx(an.Covers[mlTask], 1) {
-		t.Errorf("covers(θ3, task(ML,Alice,111)) = %v, want 1", an.Covers[mlTask])
+	if !approx(an.CoversOf(mlTask), 1) {
+		t.Errorf("covers(θ3, task(ML,Alice,111)) = %v, want 1", an.CoversOf(mlTask))
 	}
-	if !approx(an.Covers[sapOrg], 1) {
-		t.Errorf("covers(θ3, org(111,SAP)) = %v, want 1", an.Covers[sapOrg])
+	if !approx(an.CoversOf(sapOrg), 1) {
+		t.Errorf("covers(θ3, org(111,SAP)) = %v, want 1", an.CoversOf(sapOrg))
 	}
-	if len(an.Covers) != 2 {
-		t.Errorf("θ3 should cover exactly two J tuples, covers = %v", an.Covers)
+	if an.NumCovered() != 2 {
+		t.Errorf("θ3 should cover exactly two J tuples, covers = %v", an.Pairs)
 	}
 	// creates: 1 for task(BigData,Bob,⊥) and org(⊥,IBM).
 	if !approx(an.Errors, 2) {
@@ -101,8 +101,8 @@ func TestNaiveCoversAblation(t *testing.T) {
 	an := AnalyzeOne(0, th1, I, J, opts)
 	jidx := IndexJ(J)
 	mlTask := jidx.IndexOf(data.NewTuple("task", "ML", "Alice", "111"))
-	if !approx(an.Covers[mlTask], 1) {
-		t.Errorf("naive covers(θ1, task) = %v, want 1", an.Covers[mlTask])
+	if !approx(an.CoversOf(mlTask), 1) {
+		t.Errorf("naive covers(θ1, task) = %v, want 1", an.CoversOf(mlTask))
 	}
 }
 
@@ -135,8 +135,8 @@ func TestFullTGDsCollapseToEq4(t *testing.T) {
 	d := tgd.MustParse("r(x,y) -> s(x,y)")
 	an := AnalyzeOne(0, d, I, J, DefaultOptions())
 	jidx := IndexJ(J)
-	if !approx(an.Covers[jidx.IndexOf(data.NewTuple("s", "a", "b"))], 1) {
-		t.Errorf("full tgd covers = %v, want exactly 1", an.Covers)
+	if !approx(an.CoversOf(jidx.IndexOf(data.NewTuple("s", "a", "b"))), 1) {
+		t.Errorf("full tgd covers = %v, want exactly 1", an.Pairs)
 	}
 	if !approx(an.Errors, 1) {
 		t.Errorf("full tgd errors = %v, want 1 (s(c,d) ∉ J)", an.Errors)
@@ -156,8 +156,8 @@ func TestRepeatedNullInOneTuple(t *testing.T) {
 	// The block is a single tuple, so the nulls are uncorroborated and
 	// coverage is 0 everywhere; but creates must be 0 because s(E,E)
 	// embeds into s(3,3) — and not via s(1,2).
-	if len(an.Covers) != 0 {
-		t.Errorf("covers = %v, want none (uncorroborated)", an.Covers)
+	if an.NumCovered() != 0 {
+		t.Errorf("covers = %v, want none (uncorroborated)", an.Pairs)
 	}
 	if !approx(an.Errors, 0) {
 		t.Errorf("errors = %v, want 0 (embeds into s(3,3))", an.Errors)
@@ -169,7 +169,7 @@ func TestHomLimitStillFindsEasyMatches(t *testing.T) {
 	opts := DefaultOptions()
 	opts.HomLimit = 8
 	an := AnalyzeOne(0, th3, I, J, opts)
-	if len(an.Covers) == 0 {
+	if an.NumCovered() == 0 {
 		t.Error("tiny hom limit should still find the direct matches")
 	}
 }

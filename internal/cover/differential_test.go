@@ -1,0 +1,194 @@
+package cover
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"schemamap/internal/ibench"
+)
+
+// scenarioConfigs mirrors the benchmark harness's seeded S/M ibench
+// scales (bench.Scales) plus a noisier small scenario, without
+// importing internal/bench (which depends on core, which depends on
+// this package).
+func scenarioConfigs() []ibench.Config {
+	specs := []struct {
+		n        int
+		rows     int
+		piCorr   float64
+		piErr    float64
+		piUnexpl float64
+		seed     int64
+	}{
+		{7, 10, 20, 10, 10, 7},   // S scale
+		{28, 24, 20, 10, 10, 28}, // M scale
+		{7, 8, 50, 20, 20, 3},    // heavy noise
+	}
+	var out []ibench.Config
+	for _, s := range specs {
+		cfg := ibench.DefaultConfig(s.n, s.seed)
+		cfg.Rows = s.rows
+		cfg.PiCorresp = s.piCorr
+		cfg.PiErrors = s.piErr
+		cfg.PiUnexplained = s.piUnexpl
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// The indexed sparse pipeline must reproduce the reference pipeline
+// bit for bit on the harness's seeded scenarios — every covers
+// degree, error count and block count — at every worker count.
+func TestAnalyzeMatchesReferenceOnScenarios(t *testing.T) {
+	for ci, cfg := range scenarioConfigs() {
+		sc, err := ibench.Generate(cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", ci, err)
+		}
+		jidx := IndexJ(sc.J)
+		want := AnalyzeReference(sc.I, jidx, sc.Candidates, DefaultOptions())
+		for _, workers := range []int{1, 4} {
+			got := AnalyzeN(sc.I, jidx, sc.Candidates, DefaultOptions(), workers)
+			if len(got) != len(want) {
+				t.Fatalf("config %d workers %d: %d analyses vs reference %d", ci, workers, len(got), len(want))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("config %d workers %d candidate %d:\n got  %+v\n want %+v",
+						ci, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// The equality must also hold under the E8 ablation (no
+// corroboration) and under tight hom limits, where identical
+// enumeration order between the two paths is what keeps truncated
+// evidence identical.
+func TestAnalyzeMatchesReferenceAblations(t *testing.T) {
+	cfg := scenarioConfigs()[0]
+	sc, err := ibench.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jidx := IndexJ(sc.J)
+	for _, opts := range []Options{
+		{Corroboration: false},
+		{Corroboration: true, HomLimit: 3},
+		{Corroboration: false, HomLimit: 1},
+	} {
+		want := AnalyzeReference(sc.I, jidx, sc.Candidates, opts)
+		got := Analyze(sc.I, jidx, sc.Candidates, opts)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("opts %+v: indexed path diverged from reference", opts)
+		}
+	}
+}
+
+// Random small scenarios widen the differential net beyond the ibench
+// generator's shapes (joins through shared nulls, repeated nulls,
+// noise tuples).
+func TestAnalyzeMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 40; trial++ {
+		I, J, cands := randomScenario(rng)
+		jidx := IndexJ(J)
+		want := AnalyzeReference(I, jidx, cands, DefaultOptions())
+		got := Analyze(I, jidx, cands, DefaultOptions())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: indexed path diverged from reference\n got  %+v\n want %+v",
+				trial, got, want)
+		}
+	}
+}
+
+// Incidence must be the exact inverse of the Pairs evidence, rows
+// sorted by candidate.
+func TestIncidenceInvertsAnalyses(t *testing.T) {
+	sc, err := ibench.Generate(scenarioConfigs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	jidx := IndexJ(sc.J)
+	analyses := Analyze(sc.I, jidx, sc.Candidates, DefaultOptions())
+	inc := BuildIncidence(jidx.Len(), analyses)
+	if inc.NumTuples() != jidx.Len() {
+		t.Fatalf("incidence spans %d tuples, want %d", inc.NumTuples(), jidx.Len())
+	}
+	total := 0
+	for j := 0; j < jidx.Len(); j++ {
+		cands, covs := inc.Row(j)
+		total += len(cands)
+		for k, i := range cands {
+			if k > 0 && cands[k-1] >= i {
+				t.Fatalf("tuple %d: row not strictly ascending: %v", j, cands)
+			}
+			if got := analyses[i].CoversOf(j); got != covs[k] {
+				t.Fatalf("tuple %d cand %d: incidence %v vs analysis %v", j, i, covs[k], got)
+			}
+		}
+	}
+	want := 0
+	for i := range analyses {
+		want += len(analyses[i].Pairs)
+		for _, pr := range analyses[i].Pairs {
+			cands, _ := inc.Row(int(pr.J))
+			found := false
+			for _, c := range cands {
+				if int(c) == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("pair (cand %d, tuple %d) missing from incidence", i, pr.J)
+			}
+		}
+	}
+	if total != want {
+		t.Fatalf("incidence has %d entries, analyses have %d", total, want)
+	}
+}
+
+func TestPairsFromMap(t *testing.T) {
+	pairs := PairsFromMap(map[int]float64{5: 0.5, 1: 1, 9: 0.25, 3: 0})
+	want := []CoverPair{{J: 1, Cov: 1}, {J: 5, Cov: 0.5}, {J: 9, Cov: 0.25}}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Fatalf("PairsFromMap = %v, want %v", pairs, want)
+	}
+	a := Analysis{Pairs: pairs}
+	if a.CoversOf(5) != 0.5 || a.CoversOf(2) != 0 || a.CoversOf(9) != 0.25 {
+		t.Fatalf("CoversOf lookups wrong on %v", pairs)
+	}
+	if a.NumCovered() != 3 || !approx(a.TotalCoverage(), 1.75) {
+		t.Fatalf("NumCovered/TotalCoverage wrong on %v", pairs)
+	}
+}
+
+func BenchmarkAnalyzeNIndexed(b *testing.B) {
+	sc, err := ibench.Generate(scenarioConfigs()[1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	jidx := IndexJ(sc.J)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AnalyzeN(sc.I, jidx, sc.Candidates, DefaultOptions(), 1)
+	}
+}
+
+func BenchmarkAnalyzeNReference(b *testing.B) {
+	sc, err := ibench.Generate(scenarioConfigs()[1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	jidx := IndexJ(sc.J)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AnalyzeReference(sc.I, jidx, sc.Candidates, DefaultOptions())
+	}
+}

@@ -88,7 +88,7 @@ func Explain(I, J *data.Instance, candidates tgd.Mapping, selected []bool, opts 
 					if !mapped {
 						continue
 					}
-					deg := coverageDegree(b.Tuples, i, m, opts)
+					deg := coverageDegree(b.Tuples, i, m.Mapped, opts)
 					if deg <= 0 {
 						continue
 					}

@@ -62,13 +62,14 @@ func TestCoverMeasureProperties(t *testing.T) {
 			if s.Errors < 0 || s.Errors != float64(int(s.Errors)) || int(s.Errors) > s.KTuples {
 				t.Fatalf("trial %d cand %d: errors = %v of %d tuples", trial, i, s.Errors, s.KTuples)
 			}
-			for j, c := range s.Covers {
+			for _, pr := range s.Pairs {
+				j, c := int(pr.J), pr.Cov
 				if c <= 0 || c > 1+1e-9 {
 					t.Fatalf("trial %d cand %d: covers[%d] = %v out of (0,1]", trial, i, j, c)
 				}
-				if c > n.Covers[j]+1e-9 {
+				if c > n.CoversOf(j)+1e-9 {
 					t.Fatalf("trial %d cand %d tuple %d: corroborated %v > naive %v",
-						trial, i, j, c, n.Covers[j])
+						trial, i, j, c, n.CoversOf(j))
 				}
 			}
 			// Errors are semantics-independent.
@@ -112,7 +113,7 @@ func TestFullTGDEq4Property(t *testing.T) {
 			if K.Has(tu) {
 				want = 1.0
 			}
-			if got := an.Covers[j]; got != want {
+			if got := an.CoversOf(j); got != want {
 				t.Fatalf("trial %d: covers(%v) = %v, want %v", trial, tu, got, want)
 			}
 		}
@@ -138,14 +139,14 @@ func TestCoverMonotoneInJ(t *testing.T) {
 				t.Fatalf("trial %d cand %d: errors grew with J (%v -> %v)",
 					trial, i, small[i].Errors, big[i].Errors)
 			}
-			for j, c := range small[i].Covers {
-				bj := bigIdx.IndexOf(jidx.Tuples[j])
+			for _, pr := range small[i].Pairs {
+				bj := bigIdx.IndexOf(jidx.Tuples[pr.J])
 				if bj < 0 {
 					t.Fatalf("tuple lost in union")
 				}
-				if big[i].Covers[bj] < c-1e-9 {
+				if big[i].CoversOf(bj) < pr.Cov-1e-9 {
 					t.Fatalf("trial %d cand %d: covers dropped with larger J (%v -> %v)",
-						trial, i, c, big[i].Covers[bj])
+						trial, i, pr.Cov, big[i].CoversOf(bj))
 				}
 			}
 		}

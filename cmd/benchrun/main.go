@@ -25,6 +25,13 @@
 //	                     comparison on the M scenario
 //	-strict-compare      exit non-zero when -compare-admm sees no
 //	                     speedup on a multi-core machine
+//	-quality             also run the quality scenario matrix
+//	                     (internal/quality) and write QUALITY_*.json
+//	                     next to the bench reports
+//	-quality-baseline F  F1 baseline to gate the -quality run against
+//	                     (refreshed instead when -update-baseline is
+//	                     set)
+//	-quality-tolerance T allowed absolute F1 drop (default 0.01)
 //	-cpuprofile FILE     write a pprof CPU profile of the run
 //	-memprofile FILE     write a pprof heap profile at exit
 //
@@ -44,6 +51,7 @@ import (
 
 	"schemamap/internal/bench"
 	"schemamap/internal/core"
+	"schemamap/internal/quality"
 )
 
 func main() {
@@ -64,6 +72,9 @@ func run() int {
 		prepareScale    = flag.String("prepare-scale", "M", "scale whose prepareMillis -update-baseline records as the prepare gate (empty disables)")
 		compareADMM     = flag.Bool("compare-admm", false, "run the serial-vs-parallel ADMM comparison on the M scenario")
 		strictCompare   = flag.Bool("strict-compare", false, "fail -compare-admm when no speedup on a multi-core machine")
+		runQuality      = flag.Bool("quality", false, "also run the quality scenario matrix and write QUALITY_*.json to -out")
+		qualityBaseline = flag.String("quality-baseline", "", "F1 baseline for the -quality run (gated, or refreshed with -update-baseline)")
+		qualityTol      = flag.Float64("quality-tolerance", 0.01, "allowed absolute F1 drop vs -quality-baseline (0 = exact)")
 		cpuprofile      = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile      = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -168,6 +179,25 @@ func run() int {
 			} else {
 				fmt.Printf("perf gate ok: within %g%% of baseline %s (scale %s)\n", *gate, *baselinePath, b.Scale)
 			}
+		}
+	}
+
+	if *runQuality {
+		fmt.Printf("benchrun: quality matrix (%d cells)\n", len(quality.Matrix()))
+		code := quality.RunCLI(ctx, quality.CLIConfig{
+			Options: quality.Options{Solvers: solvers, Parallelism: *parallelism,
+				Progress: func(line string) { fmt.Println(line) }},
+			OutDir:         *outDir,
+			BaselinePath:   *qualityBaseline,
+			Tolerance:      *qualityTol,
+			UpdateBaseline: *updateBaseline,
+		})
+		switch code {
+		case 0:
+		case 2:
+			exit = 2 // gate failure: still run -compare-admm below
+		default:
+			return code
 		}
 	}
 

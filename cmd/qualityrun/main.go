@@ -1,0 +1,91 @@
+// Command qualityrun is the mapping-quality evaluation CLI: it runs
+// every registered solver over the standard scenario matrix (per
+// primitive family and mixed, S/M scales, the standard noise levels),
+// writes one machine-readable QUALITY_<solver>.json per solver, and
+// optionally gates the run's F1 scores against a checked-in baseline.
+//
+// Usage:
+//
+//	qualityrun [flags]
+//
+//	-solvers a,b,...     solver subset (default: all registered)
+//	-cells a,b,...       cell subset by name (default: full matrix)
+//	-list                print the matrix cells and exit
+//	-parallelism N       WithParallelism for every solve (default 4)
+//	-out DIR             output directory for QUALITY_*.json (default .)
+//	-baseline FILE       F1 baseline to gate against (optional)
+//	-tolerance T         allowed absolute F1 drop vs baseline
+//	                     (default 0.01; 0 = exact)
+//	-update-baseline     refresh FILE from this run instead of gating;
+//	                     a full run replaces the file, a -solvers or
+//	                     -cells subset run merges into it
+//	-v                   print one progress line per measurement
+//
+// Refresh the checked-in baseline (and the repo-root reports) with:
+//
+//	go run ./cmd/qualityrun -out . \
+//	  -baseline internal/quality/baseline/QUALITY_baseline.json -update-baseline
+//
+// Exit codes: 0 ok, 1 usage/run error, 2 F1 gate failure.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"schemamap/internal/quality"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		solversFlag    = flag.String("solvers", "", "comma-separated solver subset (default: all registered)")
+		cellsFlag      = flag.String("cells", "", "comma-separated cell subset by name (default: full matrix)")
+		list           = flag.Bool("list", false, "print the matrix cells and exit")
+		parallelism    = flag.Int("parallelism", 4, "WithParallelism for every solve (0 = GOMAXPROCS)")
+		outDir         = flag.String("out", ".", "output directory for QUALITY_<solver>.json")
+		baselinePath   = flag.String("baseline", "", "baseline file to gate against (see -tolerance)")
+		tolerance      = flag.Float64("tolerance", 0.01, "allowed absolute F1 drop vs -baseline (0 = exact)")
+		updateBaseline = flag.Bool("update-baseline", false, "rewrite -baseline from this run instead of gating")
+		verbose        = flag.Bool("v", false, "print one progress line per measurement")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range quality.Matrix() {
+			fmt.Printf("%-14s family=%-5s scale=%s noise=%-4s (piCorresp=%g piErrors=%g piUnexplained=%g) n=%d rows=%d seed=%d\n",
+				c.Name, c.Family, c.Scale, c.Noise.Name,
+				c.Noise.PiCorresp, c.Noise.PiErrors, c.Noise.PiUnexplained, c.N, c.Rows, c.Seed)
+		}
+		return 0
+	}
+
+	cfg := quality.CLIConfig{
+		Options:        quality.Options{Parallelism: *parallelism},
+		OutDir:         *outDir,
+		BaselinePath:   *baselinePath,
+		Tolerance:      *tolerance,
+		UpdateBaseline: *updateBaseline,
+	}
+	if *solversFlag != "" {
+		cfg.Solvers = strings.Split(*solversFlag, ",")
+	}
+	if *cellsFlag != "" {
+		cells, err := quality.CellsNamed(strings.Split(*cellsFlag, ",")...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qualityrun:", err)
+			return 1
+		}
+		cfg.Cells = cells
+	}
+	if *verbose {
+		cfg.Progress = func(line string) { fmt.Println(line) }
+	}
+	return quality.RunCLI(context.Background(), cfg)
+}

@@ -1,0 +1,48 @@
+package ibench
+
+// Grid-generation hooks for the quality-evaluation matrix
+// (internal/quality): named noise levels spanning the paper's Table I
+// axes, and per-primitive-family configurations that isolate one
+// iBench primitive so a solver's accuracy can be attributed to the
+// ambiguity pattern that primitive creates (copy ambiguity for
+// CP/ADD/DL/ADL, join ambiguity for ME, existential-link ambiguity
+// for VP/VNM).
+
+// NoiseLevel is a named point on the paper's three noise axes
+// (percentages, 0..100).
+type NoiseLevel struct {
+	Name          string  `json:"name"`
+	PiCorresp     float64 `json:"piCorresp"`
+	PiErrors      float64 `json:"piErrors"`
+	PiUnexplained float64 `json:"piUnexplained"`
+}
+
+// StandardNoiseLevels returns the four levels the quality matrix
+// sweeps: clean, and three increasingly hostile mixes of the Table I
+// processes. The mid level matches the bench scales' noise.
+func StandardNoiseLevels() []NoiseLevel {
+	return []NoiseLevel{
+		{Name: "none", PiCorresp: 0, PiErrors: 0, PiUnexplained: 0},
+		{Name: "low", PiCorresp: 10, PiErrors: 5, PiUnexplained: 5},
+		{Name: "mid", PiCorresp: 20, PiErrors: 10, PiUnexplained: 10},
+		{Name: "high", PiCorresp: 40, PiErrors: 20, PiUnexplained: 20},
+	}
+}
+
+// WithNoise returns a copy of the config with the level's three noise
+// percentages applied.
+func (c Config) WithNoise(l NoiseLevel) Config {
+	c.PiCorresp = l.PiCorresp
+	c.PiErrors = l.PiErrors
+	c.PiUnexplained = l.PiUnexplained
+	return c
+}
+
+// SingleFamilyConfig returns a configuration generating n instances
+// of one primitive family only, with the paper-flavoured defaults
+// otherwise. Equal arguments generate equal scenarios.
+func SingleFamilyConfig(p Primitive, n int, seed int64) Config {
+	cfg := DefaultConfig(n, seed)
+	cfg.Primitives = []Primitive{p}
+	return cfg
+}

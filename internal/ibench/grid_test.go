@@ -1,0 +1,67 @@
+package ibench
+
+import "testing"
+
+func TestStandardNoiseLevels(t *testing.T) {
+	levels := StandardNoiseLevels()
+	if len(levels) < 3 {
+		t.Fatalf("%d standard levels, want ≥ 3", len(levels))
+	}
+	names := map[string]bool{}
+	for _, l := range levels {
+		if names[l.Name] {
+			t.Errorf("duplicate level name %s", l.Name)
+		}
+		names[l.Name] = true
+		for _, pct := range []float64{l.PiCorresp, l.PiErrors, l.PiUnexplained} {
+			if pct < 0 || pct > 100 {
+				t.Errorf("level %s: percentage %g outside [0,100]", l.Name, pct)
+			}
+		}
+	}
+	if first := levels[0]; first.PiCorresp != 0 || first.PiErrors != 0 || first.PiUnexplained != 0 {
+		t.Errorf("first level should be clean, got %+v", first)
+	}
+	// Levels must be ordered by increasing hostility so "higher level"
+	// means "more noise" on every axis.
+	for i := 1; i < len(levels); i++ {
+		if levels[i].PiCorresp < levels[i-1].PiCorresp ||
+			levels[i].PiErrors < levels[i-1].PiErrors ||
+			levels[i].PiUnexplained < levels[i-1].PiUnexplained {
+			t.Errorf("levels not monotone at %s -> %s", levels[i-1].Name, levels[i].Name)
+		}
+	}
+}
+
+func TestWithNoise(t *testing.T) {
+	base := DefaultConfig(3, 1)
+	noised := base.WithNoise(NoiseLevel{Name: "x", PiCorresp: 1, PiErrors: 2, PiUnexplained: 3})
+	if noised.PiCorresp != 1 || noised.PiErrors != 2 || noised.PiUnexplained != 3 {
+		t.Errorf("WithNoise = %+v", noised)
+	}
+	if base.PiCorresp != 0 || base.PiErrors != 0 || base.PiUnexplained != 0 {
+		t.Error("WithNoise mutated its receiver")
+	}
+	if noised.N != base.N || noised.Seed != base.Seed {
+		t.Error("WithNoise changed non-noise fields")
+	}
+}
+
+func TestSingleFamilyConfig(t *testing.T) {
+	for _, p := range AllPrimitives {
+		cfg := SingleFamilyConfig(p, 3, 11)
+		if len(cfg.Primitives) != 1 || cfg.Primitives[0] != p {
+			t.Fatalf("%v: primitives = %v", p, cfg.Primitives)
+		}
+		sc, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if len(sc.Gold) != 3 {
+			t.Errorf("%v: %d gold tgds, want one per instance (3)", p, len(sc.Gold))
+		}
+		if len(sc.GoldIndices) != len(sc.Gold) {
+			t.Errorf("%v: gold not fully located in candidates", p)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package ibench
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -45,6 +46,40 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 	}
 	if len(got.Source.FKs()) != len(sc.Source.FKs()) || len(got.Target.FKs()) != len(sc.Target.FKs()) {
 		t.Error("fks changed")
+	}
+}
+
+// TestScenarioJSONRoundTripStable is the full Generate → Marshal →
+// Unmarshal → Marshal cycle, for every primitive family alone and the
+// mixed noisy workload: re-marshalling the decoded scenario must
+// reproduce the original bytes exactly. This is a deep equality over
+// everything the format carries (cmd/scenariogen's output contract),
+// and it holds regardless of map-iteration order during decoding
+// because relation keys are re-sorted by encoding/json.
+func TestScenarioJSONRoundTripStable(t *testing.T) {
+	configs := []Config{DefaultConfig(7, 23).WithNoise(NoiseLevel{
+		Name: "mid", PiCorresp: 20, PiErrors: 10, PiUnexplained: 10,
+	})}
+	for _, p := range AllPrimitives {
+		configs = append(configs, SingleFamilyConfig(p, 2, 5))
+	}
+	for _, cfg := range configs {
+		sc := gen(t, cfg)
+		first, err := MarshalScenario(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := UnmarshalScenario(first)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.Primitives, err)
+		}
+		second, err := MarshalScenario(decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("primitives %v: re-marshalled scenario differs from original", cfg.Primitives)
+		}
 	}
 }
 

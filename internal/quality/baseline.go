@@ -1,0 +1,217 @@
+package quality
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is the checked-in accuracy reference the CI quality job
+// gates against. Unlike the bench baseline, no normalisation is
+// needed: quality runs are seed-pinned and budget-free, so the F1
+// values are pure functions of the code and regenerate bit-identically
+// on any machine — the gate tolerance exists only to absorb benign
+// cross-architecture floating-point divergence in the ADMM relaxation
+// (e.g. fused multiply-add on arm64), not measurement noise.
+type Baseline struct {
+	// Cells maps solver name -> cell name -> recorded scores. Cells a
+	// solver skipped when the baseline was refreshed are absent, so
+	// they stay ungated until a refresh records them.
+	Cells map[string]map[string]CellScore `json:"cells"`
+	// RecordedOn documents the recording toolchain (informational).
+	RecordedOn string `json:"recordedOn,omitempty"`
+}
+
+// CellScore is the gated part of one (solver, cell) measurement.
+type CellScore struct {
+	MappingF1 float64 `json:"mappingF1"`
+	TupleF1   float64 `json:"tupleF1"`
+}
+
+// BaselineFrom extracts a baseline from a harness run: every
+// non-skipped (solver, cell) measurement is recorded. When solvers is
+// non-empty it restricts the recorded set.
+func BaselineFrom(reports []*Report, solvers ...string) *Baseline {
+	keep := make(map[string]bool, len(solvers))
+	for _, s := range solvers {
+		keep[s] = true
+	}
+	b := &Baseline{Cells: make(map[string]map[string]CellScore)}
+	for _, r := range reports {
+		if len(keep) > 0 && !keep[r.Solver] {
+			continue
+		}
+		for _, res := range r.Cells {
+			if res.Skipped != "" {
+				continue
+			}
+			cells := b.Cells[r.Solver]
+			if cells == nil {
+				cells = make(map[string]CellScore)
+				b.Cells[r.Solver] = cells
+			}
+			cells[res.Cell] = CellScore{MappingF1: res.MappingF1, TupleF1: res.TupleF1}
+		}
+	}
+	return b
+}
+
+// Restrict returns a copy of the baseline gating only the named
+// solvers and cells; empty arguments leave that axis unrestricted.
+// Use it to gate a partial run (qualityrun -solvers/-cells) against
+// the full checked-in baseline: CheckBaseline deliberately fails on
+// gated-but-unmeasured cells, so without restriction a subset run
+// could never pass. CI runs the full matrix and must NOT restrict —
+// that is what makes a solver vanishing from the registry a gate
+// failure instead of a silent pass.
+func (b *Baseline) Restrict(solvers []string, cells []Cell) *Baseline {
+	keepSolver := make(map[string]bool, len(solvers))
+	for _, s := range solvers {
+		keepSolver[s] = true
+	}
+	keepCell := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		keepCell[c.Name] = true
+	}
+	out := &Baseline{Cells: make(map[string]map[string]CellScore), RecordedOn: b.RecordedOn}
+	for solver, gated := range b.Cells {
+		if len(keepSolver) > 0 && !keepSolver[solver] {
+			continue
+		}
+		for cellName, score := range gated {
+			if len(keepCell) > 0 && !keepCell[cellName] {
+				continue
+			}
+			if out.Cells[solver] == nil {
+				out.Cells[solver] = make(map[string]CellScore)
+			}
+			out.Cells[solver][cellName] = score
+		}
+	}
+	return out
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("quality: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes a baseline file (indented JSON; map keys are
+// sorted by encoding/json, so a deterministic run writes
+// byte-identical baselines).
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Merge overwrites b's entries with every (solver, cell) score that
+// update records, keeping entries update does not cover, and adopts
+// update's RecordedOn. It is how a subset run refreshes the baseline
+// without clobbering the cells it did not measure.
+func (b *Baseline) Merge(update *Baseline) {
+	if b.Cells == nil {
+		b.Cells = make(map[string]map[string]CellScore)
+	}
+	for solver, gated := range update.Cells {
+		if b.Cells[solver] == nil {
+			b.Cells[solver] = make(map[string]CellScore)
+		}
+		for cellName, score := range gated {
+			b.Cells[solver][cellName] = score
+		}
+	}
+	if update.RecordedOn != "" {
+		b.RecordedOn = update.RecordedOn
+	}
+}
+
+// CheckBaseline compares a run against the baseline: every (solver,
+// cell) score it records must be matched by a measurement whose
+// mapping-level and tuple-level F1 are each no more than tolerance
+// below the recorded value. Tolerance 0 is a valid exact gate
+// (quality runs are deterministic); negative gets the 0.01 default. Improvements
+// always pass — refresh the baseline to lock them in. A gated cell
+// that is skipped, erroring, or absent from the run fails too: a
+// green gate must mean "measured and within tolerance", never "could
+// not measure". Solvers or cells absent from the baseline pass (new
+// matrix cells gate only after a refresh). Returns one error
+// summarising all failures, or nil.
+func CheckBaseline(b *Baseline, reports []*Report, tolerance float64) error {
+	if tolerance < 0 {
+		tolerance = 0.01
+	}
+	byName := make(map[string]*Report, len(reports))
+	for _, r := range reports {
+		byName[r.Solver] = r
+	}
+	var failures []string
+	for _, solver := range sortedKeys(b.Cells) {
+		gated := b.Cells[solver]
+		r := byName[solver]
+		for _, cellName := range sortedKeys(gated) {
+			want := gated[cellName]
+			res, found := findCell(r, cellName)
+			switch {
+			case !found:
+				failures = append(failures, fmt.Sprintf(
+					"%s@%s: gated cell has no measurement in the run", solver, cellName))
+			case res.Skipped != "":
+				failures = append(failures, fmt.Sprintf(
+					"%s@%s: gated cell skipped: %s", solver, cellName, res.Skipped))
+			default:
+				if res.MappingF1 < want.MappingF1-tolerance {
+					failures = append(failures, fmt.Sprintf(
+						"%s@%s: mapping F1 %.4f < baseline %.4f − tolerance %.4f",
+						solver, cellName, res.MappingF1, want.MappingF1, tolerance))
+				}
+				if res.TupleF1 < want.TupleF1-tolerance {
+					failures = append(failures, fmt.Sprintf(
+						"%s@%s: tuple F1 %.4f < baseline %.4f − tolerance %.4f",
+						solver, cellName, res.TupleF1, want.TupleF1, tolerance))
+				}
+			}
+		}
+	}
+	if len(failures) > 0 {
+		msg := "quality: F1 gate failed:"
+		for _, f := range failures {
+			msg += "\n  " + f
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}
+
+// findCell locates a cell measurement in a report (nil-safe).
+func findCell(r *Report, cellName string) (CellResult, bool) {
+	if r == nil {
+		return CellResult{}, false
+	}
+	for _, res := range r.Cells {
+		if res.Cell == cellName {
+			return res, true
+		}
+	}
+	return CellResult{}, false
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,291 @@
+package quality
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fakeReports builds a single-solver report set with the given F1
+// scores on one cell.
+func fakeReports(mappingF1, tupleF1 float64) []*Report {
+	return []*Report{{
+		Solver: "collective",
+		Cells: []CellResult{{
+			Solver: "collective", Cell: "mixed-S-mid",
+			MappingF1: mappingF1, TupleF1: tupleF1,
+		}},
+	}}
+}
+
+// TestBaselineGate is the synthetic-regression demonstration of the
+// CI quality gate: a run whose F1 drops beyond tolerance on any
+// gated cell fails CheckBaseline.
+func TestBaselineGate(t *testing.T) {
+	base := &Baseline{Cells: map[string]map[string]CellScore{
+		"collective": {"mixed-S-mid": {MappingF1: 0.9, TupleF1: 0.95}},
+	}}
+	if err := CheckBaseline(base, fakeReports(0.9, 0.95), 0.01); err != nil {
+		t.Errorf("at baseline: %v", err)
+	}
+	if err := CheckBaseline(base, fakeReports(0.895, 0.95), 0.01); err != nil {
+		t.Errorf("drop within tolerance must pass: %v", err)
+	}
+	if err := CheckBaseline(base, fakeReports(1.0, 1.0), 0.01); err != nil {
+		t.Errorf("improvement must pass: %v", err)
+	}
+	// The synthetic regression: mapping F1 0.9 → 0.8 fails the gate.
+	err := CheckBaseline(base, fakeReports(0.8, 0.95), 0.01)
+	if err == nil {
+		t.Fatal("mapping F1 regression beyond tolerance must fail")
+	}
+	if !strings.Contains(err.Error(), "mapping F1") || !strings.Contains(err.Error(), "mixed-S-mid") {
+		t.Errorf("failure must name the metric and cell: %v", err)
+	}
+	// Tuple-level regression fails independently.
+	if err := CheckBaseline(base, fakeReports(0.9, 0.5), 0.01); err == nil {
+		t.Error("tuple F1 regression beyond tolerance must fail")
+	}
+	// A green gate must mean "measured and within tolerance": a gated
+	// cell that is skipped or absent fails rather than passing
+	// vacuously.
+	skipped := fakeReports(0, 0)
+	skipped[0].Cells[0].Skipped = "solver exploded"
+	if err := CheckBaseline(base, skipped, 0.01); err == nil {
+		t.Error("skipped gated cell must fail")
+	}
+	offCell := fakeReports(1, 1)
+	offCell[0].Cells[0].Cell = "CP-S-none"
+	if err := CheckBaseline(base, offCell, 0.01); err == nil {
+		t.Error("gated cell missing from the run must fail")
+	}
+	if err := CheckBaseline(base, nil, 0.01); err == nil {
+		t.Error("empty run must fail")
+	}
+	// Solvers absent from the baseline pass (gate only after refresh).
+	withNew := append(fakeReports(0.9, 0.95), &Report{
+		Solver: "newsolver",
+		Cells:  []CellResult{{Solver: "newsolver", Cell: "mixed-S-mid", MappingF1: 0, TupleF1: 0}},
+	})
+	if err := CheckBaseline(base, withNew, 0.01); err != nil {
+		t.Errorf("unlisted solver must pass: %v", err)
+	}
+}
+
+// TestBaselineFrom checks skipped cells stay unrecorded and the
+// solver filter applies.
+func TestBaselineFrom(t *testing.T) {
+	reports := fakeReports(0.9, 0.95)
+	reports[0].Cells = append(reports[0].Cells, CellResult{
+		Solver: "collective", Cell: "mixed-M-mid", Skipped: "too big",
+	})
+	b := BaselineFrom(reports)
+	if len(b.Cells["collective"]) != 1 {
+		t.Fatalf("baseline records %d cells, want 1 (skips excluded): %+v", len(b.Cells["collective"]), b)
+	}
+	if _, ok := b.Cells["collective"]["mixed-M-mid"]; ok {
+		t.Error("skipped cell must not be recorded")
+	}
+	if got := BaselineFrom(reports, "othersolver"); len(got.Cells) != 0 {
+		t.Errorf("solver filter ignored: %+v", got)
+	}
+}
+
+// TestRestrict checks the subset-gating contract: a restricted
+// baseline gates only the named solvers/cells, so a partial
+// qualityrun can pass against the full checked-in baseline, while an
+// unrestricted gate still fails on unmeasured cells.
+func TestRestrict(t *testing.T) {
+	base := &Baseline{Cells: map[string]map[string]CellScore{
+		"collective": {"mixed-S-mid": {MappingF1: 0.9, TupleF1: 0.9}, "CP-S-none": {MappingF1: 1, TupleF1: 1}},
+		"greedy":     {"mixed-S-mid": {MappingF1: 0.9, TupleF1: 0.9}},
+	}, RecordedOn: "rec"}
+	// A collective-only run fails the full gate but passes restricted.
+	run := fakeReports(0.9, 0.9)
+	if err := CheckBaseline(base, run, 0.01); err == nil {
+		t.Fatal("partial run must fail the unrestricted gate")
+	}
+	cells, err := CellsNamed("mixed-S-mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restricted := base.Restrict([]string{"collective"}, cells)
+	if err := CheckBaseline(restricted, run, 0.01); err != nil {
+		t.Errorf("restricted gate must pass: %v", err)
+	}
+	if restricted.RecordedOn != "rec" {
+		t.Error("Restrict dropped RecordedOn")
+	}
+	// Empty arguments leave the baseline unrestricted.
+	full := base.Restrict(nil, nil)
+	if !reflect.DeepEqual(full.Cells, base.Cells) {
+		t.Errorf("Restrict(nil, nil) changed the gated set: %+v", full.Cells)
+	}
+	// Restriction must not mutate the original.
+	if len(base.Cells["collective"]) != 2 || len(base.Cells["greedy"]) != 1 {
+		t.Error("Restrict mutated its receiver")
+	}
+	// A regression inside the restricted scope still fails.
+	if err := CheckBaseline(restricted, fakeReports(0.5, 0.9), 0.01); err == nil {
+		t.Error("restricted gate must still catch regressions")
+	}
+}
+
+// TestMerge checks subset-refresh semantics: merged entries
+// overwrite, unmeasured entries survive.
+func TestMerge(t *testing.T) {
+	b := &Baseline{Cells: map[string]map[string]CellScore{
+		"collective": {"a": {MappingF1: 0.5, TupleF1: 0.5}, "b": {MappingF1: 0.6, TupleF1: 0.6}},
+	}, RecordedOn: "old"}
+	b.Merge(&Baseline{Cells: map[string]map[string]CellScore{
+		"collective": {"a": {MappingF1: 0.9, TupleF1: 0.9}},
+		"greedy":     {"c": {MappingF1: 1, TupleF1: 1}},
+	}, RecordedOn: "new"})
+	if got := b.Cells["collective"]["a"]; got.MappingF1 != 0.9 {
+		t.Errorf("merged entry not overwritten: %+v", got)
+	}
+	if got := b.Cells["collective"]["b"]; got.MappingF1 != 0.6 {
+		t.Errorf("unmeasured entry clobbered: %+v", got)
+	}
+	if _, ok := b.Cells["greedy"]["c"]; !ok {
+		t.Error("new solver entry not merged")
+	}
+	if b.RecordedOn != "new" {
+		t.Errorf("RecordedOn = %q", b.RecordedOn)
+	}
+}
+
+// TestRunCLIRefresh pins the -update-baseline clobber protection: a
+// subset refresh merges into the existing baseline (entries it did
+// not measure survive and stay gated), while a full refresh replaces
+// the file (stale entries drop out).
+func TestRunCLIRefresh(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	stale := &Baseline{Cells: map[string]map[string]CellScore{
+		"collective": {"no-such-cell": {MappingF1: 1, TupleF1: 1}},
+	}}
+	if err := WriteBaseline(path, stale); err != nil {
+		t.Fatal(err)
+	}
+	cfg := CLIConfig{
+		Options:        Options{Solvers: []string{"greedy"}, Cells: tinyCells(t)},
+		OutDir:         dir,
+		BaselinePath:   path,
+		UpdateBaseline: true,
+		Stdout:         io.Discard,
+		Stderr:         io.Discard,
+	}
+	if code := RunCLI(context.Background(), cfg); code != 0 {
+		t.Fatalf("subset refresh exit %d", code)
+	}
+	merged, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := merged.Cells["collective"]["no-such-cell"]; !ok {
+		t.Error("subset refresh clobbered an unmeasured solver's entries")
+	}
+	if len(merged.Cells["greedy"]) != len(cfg.Cells) {
+		t.Errorf("subset refresh recorded %d greedy cells, want %d", len(merged.Cells["greedy"]), len(cfg.Cells))
+	}
+	// Full refresh replaces: the stale entry must be gone.
+	full := cfg
+	full.Options = Options{Parallelism: 2}
+	if code := RunCLI(context.Background(), full); code != 0 {
+		t.Fatalf("full refresh exit %d", code)
+	}
+	replaced, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := replaced.Cells["collective"]["no-such-cell"]; ok {
+		t.Error("full refresh kept a stale entry")
+	}
+	// The refreshed baseline gates its own rerun, exact tolerance.
+	gate := full
+	gate.UpdateBaseline = false
+	gate.Tolerance = 0
+	if code := RunCLI(context.Background(), gate); code != 0 {
+		t.Errorf("self-gate at tolerance 0 exit %d", code)
+	}
+	// And a tampered baseline fails with exit code 2.
+	replaced.Cells["greedy"]["mixed-S-mid"] = CellScore{MappingF1: 1.5, TupleF1: 1.5}
+	if err := WriteBaseline(path, replaced); err != nil {
+		t.Fatal(err)
+	}
+	if code := RunCLI(context.Background(), gate); code != 2 {
+		t.Errorf("tampered baseline exit %d, want 2", code)
+	}
+}
+
+// TestBaselineRoundTrip runs the real harness on tiny cells and
+// checks the baseline self-gates, round-trips, and writes
+// byte-identically on refresh (the reproducibility the checked-in
+// baseline depends on).
+func TestBaselineRoundTrip(t *testing.T) {
+	reports, err := Run(context.Background(), Options{Cells: tinyCells(t)})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b := BaselineFrom(reports)
+	if len(b.Cells) == 0 {
+		t.Fatal("empty baseline from a real run")
+	}
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "b1.json")
+	p2 := filepath.Join(dir, "b2.json")
+	if err := WriteBaseline(p1, b); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	got, err := LoadBaseline(p1)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, b)
+	}
+	// The run that produced the baseline passes its own gate.
+	if err := CheckBaseline(got, reports, 0.01); err != nil {
+		t.Fatalf("self-gate: %v", err)
+	}
+	// A rerun refreshes the baseline byte-identically.
+	rerun, err := Run(context.Background(), Options{Cells: tinyCells(t)})
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if err := WriteBaseline(p2, BaselineFrom(rerun)); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b1, _ := os.ReadFile(p1)
+	b2, _ := os.ReadFile(p2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("refreshed baseline differs byte-wise:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+// TestCheckedInBaseline gates a fresh full-matrix run against the
+// committed baseline — the same check CI runs, so a quality
+// regression fails `go test ./...` before it ever reaches CI. The
+// tolerance matches the CI job's.
+func TestCheckedInBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix in -short mode")
+	}
+	b, err := LoadBaseline(filepath.Join("baseline", "QUALITY_baseline.json"))
+	if err != nil {
+		t.Fatalf("checked-in baseline: %v", err)
+	}
+	reports, err := Run(context.Background(), Options{Parallelism: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := CheckBaseline(b, reports, 0.01); err != nil {
+		t.Fatalf("full matrix vs checked-in baseline: %v", err)
+	}
+}

@@ -25,6 +25,14 @@
 //	                     comparison on the M scenario
 //	-strict-compare      exit non-zero when -compare-admm sees no
 //	                     speedup on a multi-core machine
+//	-stream              also run the streaming benchmark: batched
+//	                     AppendTarget + warm-start re-solve vs cold
+//	                     Prepare+Solve, recorded into BENCH_*.json and
+//	                     gated on evidence/objective equality
+//	-stream-batches N    append batches per streaming run (default 8)
+//	-stream-gate X       minimum warm-vs-cold speedup for the greedy
+//	                     row at the largest streamed scale (default 2;
+//	                     0 disables the speedup check)
 //	-quality             also run the quality scenario matrix
 //	                     (internal/quality) and write QUALITY_*.json
 //	                     next to the bench reports
@@ -72,6 +80,9 @@ func run() int {
 		prepareScale    = flag.String("prepare-scale", "M", "scale whose prepareMillis -update-baseline records as the prepare gate (empty disables)")
 		compareADMM     = flag.Bool("compare-admm", false, "run the serial-vs-parallel ADMM comparison on the M scenario")
 		strictCompare   = flag.Bool("strict-compare", false, "fail -compare-admm when no speedup on a multi-core machine")
+		runStream       = flag.Bool("stream", false, "also run the streaming benchmark (batched AppendTarget + warm-start re-solve vs cold Prepare+Solve) on the selected scales")
+		streamBatches   = flag.Int("stream-batches", 8, "append batches per streaming run")
+		streamGate      = flag.Float64("stream-gate", 2, "minimum warm-vs-cold speedup for the greedy row at the largest streamed scale (0 disables; evidence/objective equality is always gated)")
 		runQuality      = flag.Bool("quality", false, "also run the quality scenario matrix and write QUALITY_*.json to -out")
 		qualityBaseline = flag.String("quality-baseline", "", "F1 baseline for the -quality run (gated, or refreshed with -update-baseline)")
 		qualityTol      = flag.Float64("quality-tolerance", 0.01, "allowed absolute F1 drop vs -quality-baseline (0 = exact)")
@@ -119,6 +130,35 @@ func run() int {
 	}
 
 	ctx := context.Background()
+	exitStream := 0
+	var streamRows []bench.StreamResult
+	if *runStream {
+		sscales := scales
+		if len(sscales) == 0 {
+			all := bench.Scales()
+			sscales = all[:2]
+		}
+		fmt.Printf("benchrun: streaming scales=%s batches=%d\n", scaleNames(sscales), *streamBatches)
+		var err error
+		streamRows, err = bench.RunStreaming(ctx, bench.StreamOptions{
+			Scales:      sscales,
+			Batches:     *streamBatches,
+			Parallelism: *parallelism,
+			Budget:      *budget,
+			Progress:    func(line string) { fmt.Println(line) },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+		if err := bench.CheckStreaming(streamRows, "greedy", *streamGate); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitStream = 2
+		} else {
+			fmt.Printf("stream gate ok: evidence identical, warm objective ≤ cold, speedup ≥ %gx\n", *streamGate)
+		}
+	}
+
 	var reports []*bench.Report
 	if len(scales) > 0 {
 		opt := bench.Options{
@@ -135,6 +175,14 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "benchrun:", err)
 			return 1
 		}
+		// Record the streaming rows alongside each solver's results.
+		for _, r := range reports {
+			for _, row := range streamRows {
+				if row.Solver == r.Solver {
+					r.Streaming = append(r.Streaming, row)
+				}
+			}
+		}
 		paths, err := bench.WriteReports(*outDir, reports)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchrun:", err)
@@ -145,7 +193,7 @@ func run() int {
 		}
 	}
 
-	exit := 0
+	exit := exitStream
 	if *baselinePath != "" && len(scales) > 0 {
 		if *updateBaseline {
 			scale := scales[0].Name

@@ -10,6 +10,13 @@
 //
 //	mapselect -scenario sc.json [-solver collective] [-w1 1 -w2 1 -w3 1]
 //	          [-timeout 30s] [-budget 500ms] [-par 4] [-progress]
+//	          [-stream 8 [-stream-frac 0.5]]
+//
+// With -stream N the target is fed in N append batches: the solver
+// runs on the initial fraction, then each batch is ingested with
+// Problem.AppendTarget (incremental evidence) and re-solved with
+// WithWarmStart — the streaming serving loop. The final report is the
+// same as a cold run over the full target.
 package main
 
 import (
@@ -41,6 +48,8 @@ func main() {
 		progress = flag.Bool("progress", false, "report solver progress on stderr")
 		quiet    = flag.Bool("q", false, "print only the selected tgds")
 		explain  = flag.Bool("explain", false, "print the provenance report (witnesses, unexplained tuples, errors)")
+		stream   = flag.Int("stream", 0, "feed the target in N append batches (incremental AppendTarget + warm-start re-solves) instead of one cold solve")
+		streamF  = flag.Float64("stream-frac", 0.5, "fraction of the target in the initial instance when -stream is set")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -88,11 +97,47 @@ func main() {
 		}))
 	}
 
-	p := core.NewProblem(sc.I, sc.J, sc.Candidates)
-	p.Weights = core.Weights{Explain: *w1, Error: *w2, Size: *w3}
-	sel, err := s.Solve(ctx, p, opts...)
-	if err != nil {
-		fatal(err)
+	var p *core.Problem
+	var sel *core.Selection
+	if *stream > 0 {
+		// Streaming mode: solve the initial target, then ingest the
+		// rest in batches with incremental evidence updates and
+		// warm-started re-solves — the serving loop of a live target.
+		st, err := ibench.SplitTarget(sc, ibench.StreamConfig{
+			Batches:     *stream,
+			InitialFrac: *streamF,
+			Seed:        *seed + 1,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		p = core.NewProblem(sc.I, st.Initial, sc.Candidates)
+		p.Weights = core.Weights{Explain: *w1, Error: *w2, Size: *w3}
+		p.PrepareStreaming(*par)
+		sel, err = s.Solve(ctx, p, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		for bi, batch := range st.Batches {
+			if _, err := p.AppendTarget(batch); err != nil {
+				fatal(err)
+			}
+			sel, err = s.Solve(ctx, p, append(opts, core.WithWarmStart(sel))...)
+			if err != nil {
+				fatal(err)
+			}
+			if *progress {
+				fmt.Fprintf(os.Stderr, "[stream] batch %d/%d: |J|=%d %s\n",
+					bi+1, *stream, p.J.Len(), sel.Objective)
+			}
+		}
+	} else {
+		p = core.NewProblem(sc.I, sc.J, sc.Candidates)
+		p.Weights = core.Weights{Explain: *w1, Error: *w2, Size: *w3}
+		sel, err = s.Solve(ctx, p, opts...)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	chosen := p.SelectedMapping(sel.Chosen)

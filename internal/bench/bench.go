@@ -108,6 +108,9 @@ type Report struct {
 	GOMAXPROCS        int      `json:"gomaxprocs"`
 	CalibrationMillis float64  `json:"calibrationMillis"`
 	Results           []Result `json:"results"`
+	// Streaming holds the solver's incremental-ingestion rows when the
+	// run included the streaming benchmark (benchrun -stream).
+	Streaming []StreamResult `json:"streaming,omitempty"`
 }
 
 // Options configure a harness run.

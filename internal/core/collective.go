@@ -104,6 +104,9 @@ func (s CollectiveSolver) Solve(ctx context.Context, p *Problem, options ...Solv
 			r.emit("admm", iter)
 		}
 	}
+	if w := r.cfg.Warm; w != nil && len(opts.Initial) == 0 {
+		opts.Initial = warmInitial(p, mrf, inVar, w)
+	}
 	// The soft budget becomes an inference deadline; the caller's ctx
 	// stays the hard stop.
 	admmCtx := ctx
@@ -154,6 +157,49 @@ func (s CollectiveSolver) Solve(ctx context.Context, p *Problem, options ...Solv
 		Truncated:  truncated,
 		Relaxation: relax,
 	}, nil
+}
+
+// warmInitial builds the ADMM starting consensus from a prior
+// selection (the WithWarmStart path): In atoms start at the prior
+// relaxation (or the 0/1 selection when no relaxation was recorded),
+// and Explained atoms at their induced optimal value min(1, Σ
+// covers·In) under the current — possibly appended — evidence, so the
+// linking constraints start (near-)satisfied. Variables the prior
+// says nothing about keep the neutral 0.5.
+func warmInitial(p *Problem, mrf *psl.MRF, inVar []int, w *Selection) []float64 {
+	n := p.NumCandidates()
+	init := make([]float64, mrf.NumVars())
+	for i := range init {
+		init[i] = 0.5
+	}
+	relax := w.Relaxation
+	if len(relax) != n {
+		relax = make([]float64, n)
+		for i, on := range w.Chosen {
+			if i < n && on {
+				relax[i] = 1
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		init[inVar[i]] = relax[i]
+	}
+	inc := p.Incidence()
+	for j := 0; j < inc.NumTuples(); j++ {
+		cands, covs := inc.Row(j)
+		if len(cands) == 0 {
+			continue // no Explained atom was ground for j
+		}
+		sum := 0.0
+		for k, i := range cands {
+			sum += covs[k] * relax[i]
+		}
+		if sum > 1 {
+			sum = 1
+		}
+		init[mrf.AtomVar("Explained", fmt.Sprintf("t%d", j))] = sum
+	}
+	return init
 }
 
 // buildDirectMRF constructs the ground HL-MRF without going through

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"schemamap/internal/cover"
+	"schemamap/internal/data"
 	"schemamap/internal/ibench"
 )
 
@@ -44,6 +45,84 @@ func TestEvaluatorMatchesObjectiveUnderRandomFlips(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// Property: under a long random interleaving of flips and target
+// appends (ExtendTarget applying each delta), the evaluator's total
+// stays within tolerance of a from-scratch evaluation, and Resync
+// restores exact agreement after drift-prone stretches.
+func TestEvaluatorUnderRandomFlipsAndAppends(t *testing.T) {
+	cfg := ibench.DefaultConfig(7, 7)
+	cfg.Rows = 10
+	cfg.PiCorresp = 30
+	cfg.PiErrors = 10
+	cfg.PiUnexplained = 10
+	sc, err := ibench.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(19))
+	all := sc.J.All()
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	initial := len(all) / 2
+	Jinst := data.NewInstance()
+	for _, tp := range all[:initial] {
+		Jinst.Add(tp)
+	}
+	p := NewProblem(sc.I, Jinst, sc.Candidates)
+	p.PrepareStreaming(0)
+	n := p.NumCandidates()
+	ev := NewEvaluator(p, make([]bool, n))
+	sel := make([]bool, n)
+
+	next := initial
+	for step := 0; step < 1200; step++ {
+		switch {
+		case step%97 == 96 && next < len(all):
+			// Append a small batch and apply the delta.
+			hi := next + 1 + rng.Intn(6)
+			if hi > len(all) {
+				hi = len(all)
+			}
+			delta, err := p.AppendTarget(all[next:hi])
+			if err != nil {
+				t.Fatal(err)
+			}
+			next = hi
+			ev.ExtendTarget(delta)
+		case step%293 == 292:
+			// Periodic resync must restore exact agreement.
+			ev.Resync()
+			want := p.Objective(sel).Total()
+			if math.Abs(ev.Total()-want) > 1e-9 {
+				t.Fatalf("step %d: after Resync total %v, objective %v", step, ev.Total(), want)
+			}
+		default:
+			i := rng.Intn(n)
+			predicted := ev.FlipDelta(i)
+			applied := ev.Flip(i)
+			sel[i] = !sel[i]
+			if math.Abs(predicted-applied) > 1e-9 {
+				t.Fatalf("step %d: FlipDelta %v but Flip applied %v", step, predicted, applied)
+			}
+		}
+		want := p.Objective(sel).Total()
+		if math.Abs(ev.Total()-want) > 1e-6 {
+			t.Fatalf("step %d: evaluator total %v, objective %v", step, ev.Total(), want)
+		}
+	}
+	if next < len(all) {
+		// Drain the stream and close with a final exact check.
+		delta, err := p.AppendTarget(all[next:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.ExtendTarget(delta)
+		ev.Resync()
+	}
+	if want := p.Objective(sel).Total(); math.Abs(ev.Total()-want) > 1e-9 {
+		t.Fatalf("final: evaluator total %v, objective %v", ev.Total(), want)
 	}
 }
 

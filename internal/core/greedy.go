@@ -21,7 +21,9 @@ func (s GreedySolver) Name() string { return "greedy" }
 // Solve implements Solver. The context is checked before every
 // candidate scan (each scan is O(|C|·nnz)); an expired WithBudget
 // ends the add/remove passes early and returns the current selection
-// flagged Truncated.
+// flagged Truncated. With WithWarmStart the passes begin from the
+// prior selection instead of empty — near a fixed point they
+// terminate after a sweep or two.
 func (s GreedySolver) Solve(ctx context.Context, p *Problem, options ...SolveOption) (*Selection, error) {
 	r := newRun(ctx, s.Name(), options)
 	if err := r.prepare(p); err != nil {
@@ -33,7 +35,11 @@ func (s GreedySolver) Solve(ctx context.Context, p *Problem, options ...SolveOpt
 		passes = 8
 	}
 	n := p.NumCandidates()
-	ev := NewEvaluator(p, make([]bool, n))
+	init := make([]bool, n)
+	if w := r.cfg.Warm; w != nil {
+		copy(init, w.Chosen) // copy stops at min(len, n); extra entries stay off
+	}
+	ev := NewEvaluator(p, init)
 	steps := 0
 	truncated := false
 
@@ -85,6 +91,36 @@ passes:
 			if ev.FlipDelta(i) < -1e-12 {
 				ev.Flip(i)
 				improved = true
+			}
+		}
+		// Warm starts inherit the prior target's structure, and the
+		// characteristic trap of a stale selection is a partial
+		// candidate blocking the now-better full one — invisible to
+		// single flips. Escape it with drop-one/add-one swaps (the same
+		// move repair uses); cold solves skip this, so their fixed
+		// points — and the recorded baselines — are unchanged.
+		if r.cfg.Warm != nil && n <= 256 && !improved {
+			for i := 0; i < n; i++ {
+				if !ev.Selected(i) {
+					continue
+				}
+				dropDelta := ev.Flip(i) // tentatively drop i
+				swapped := false
+				for j := 0; j < n; j++ {
+					if ev.Selected(j) || j == i {
+						continue
+					}
+					steps++
+					if dropDelta+ev.FlipDelta(j) < -1e-12 {
+						ev.Flip(j)
+						improved = true
+						swapped = true
+						break
+					}
+				}
+				if !swapped {
+					ev.Flip(i) // restore i
+				}
 			}
 		}
 		if !improved {

@@ -141,6 +141,76 @@ func (e *Evaluator) Flip(i int) float64 {
 	return delta
 }
 
+// ExtendTarget applies an AppendTarget delta to the evaluator's
+// maintained state: coverage maxima and attaining counts are
+// recomputed only for the appended tuples and the pre-existing tuples
+// the delta reports as changed (each an incidence-row scan, so the
+// cost is O(affected tuples × incident candidates)), and cached
+// linear costs are refreshed for candidates whose error count
+// dropped. Evaluators created before an append MUST apply its delta
+// (or call Resync) before further use. Deltas must be applied in
+// order; after a large batch, prefer Resync to squash accumulated
+// floating-point drift.
+func (e *Evaluator) ExtendTarget(d *TargetDelta) {
+	p := e.p
+	w1 := p.Weights.Explain
+	nj := p.jidx.Len()
+	for len(e.maxCov) < nj {
+		e.maxCov = append(e.maxCov, 0)
+		e.cnt = append(e.cnt, 0)
+	}
+	for j := d.OldTuples; j < d.NewTuples; j++ {
+		best, c := e.rescanMaxCount(j)
+		e.maxCov[j], e.cnt[j] = best, c
+		e.unexplained += w1 * (1 - best)
+	}
+	for _, j32 := range d.ChangedTuples {
+		j := int(j32)
+		old := e.maxCov[j]
+		best, c := e.rescanMaxCount(j)
+		e.maxCov[j], e.cnt[j] = best, c
+		e.unexplained += w1 * (old - best)
+	}
+	for _, i32 := range d.ErrorsChanged {
+		i := int(i32)
+		a := &p.analyses[i]
+		nc := p.Weights.Error*a.Errors + p.Weights.Size*float64(a.Size)
+		if e.sel[i] {
+			e.linear += nc - e.cost[i]
+		}
+		e.cost[i] = nc
+	}
+}
+
+// Resync recomputes the maintained state from scratch at the current
+// selection, discarding any floating-point drift the incremental
+// `+=` updates accumulated across long flip/append sequences. It is
+// O(|C| + Σ incidence rows) — call it after large append batches or
+// periodically in long-running sessions.
+func (e *Evaluator) Resync() {
+	p := e.p
+	w1 := p.Weights.Explain
+	nj := p.jidx.Len()
+	for len(e.maxCov) < nj {
+		e.maxCov = append(e.maxCov, 0)
+		e.cnt = append(e.cnt, 0)
+	}
+	e.linear = 0
+	for i := range p.analyses {
+		a := &p.analyses[i]
+		e.cost[i] = p.Weights.Error*a.Errors + p.Weights.Size*float64(a.Size)
+		if e.sel[i] {
+			e.linear += e.cost[i]
+		}
+	}
+	e.unexplained = 0
+	for j := 0; j < nj; j++ {
+		best, c := e.rescanMaxCount(j)
+		e.maxCov[j], e.cnt[j] = best, c
+		e.unexplained += w1 * (1 - best)
+	}
+}
+
 // rescanMax returns the best coverage of tuple j over selected
 // candidates excluding skip, walking only j's incidence row.
 func (e *Evaluator) rescanMax(j, skip int) float64 {

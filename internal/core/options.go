@@ -34,6 +34,12 @@ type SolveConfig struct {
 	// uses it to perturb the ADMM initial point (0 = deterministic
 	// default start).
 	Seed int64
+	// Warm, when non-nil, is a prior Selection to warm-start from —
+	// typically the solve before an AppendTarget. The greedy solver
+	// seeds its passes from the prior selection; the collective solver
+	// seeds the ADMM consensus from the prior atom values. Solvers
+	// without a warm path (exhaustive, independent) ignore it.
+	Warm *Selection
 }
 
 // SolveOption customises one Solve call.
@@ -64,6 +70,19 @@ func WithParallelism(n int) SolveOption {
 // initial-point perturbation). Zero keeps the deterministic default.
 func WithSeed(seed int64) SolveOption {
 	return func(c *SolveConfig) { c.Seed = seed }
+}
+
+// WithWarmStart seeds the solve from a prior selection — the
+// streaming re-solve path: solve, AppendTarget, then re-solve with
+// the previous result. Greedy starts its add/remove passes from the
+// prior selection instead of empty; collective starts ADMM at the
+// prior relaxation (with explanation atoms set consistently) instead
+// of the neutral 0.5 point, which converges in a fraction of the cold
+// iterations on a mildly grown target. A nil prev is ignored. Prior
+// selections from before one or more AppendTarget calls are valid —
+// the candidate set does not change.
+func WithWarmStart(prev *Selection) SolveOption {
+	return func(c *SolveConfig) { c.Warm = prev }
 }
 
 // Event is one progress report from a running solver.
@@ -162,5 +181,10 @@ func (r *run) prepare(p *Problem) error {
 	}
 	r.emit("prepare", 0)
 	p.PrepareN(r.cfg.Parallelism)
+	if err := p.CheckFresh(); err != nil {
+		// The instances were mutated directly after Prepare — the
+		// evidence is stale and any result would be silently wrong.
+		return err
+	}
 	return r.err()
 }

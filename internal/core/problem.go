@@ -57,6 +57,14 @@ func (b Breakdown) String() string {
 }
 
 // Problem is one mapping-selection instance.
+//
+// Mutation contract: after Prepare has run, the instances I and J are
+// part of the prepared evidence and must not be mutated directly —
+// solvers would silently run on stale analyses. The one supported
+// post-Prepare mutation is AppendTarget, which grows J and updates the
+// evidence incrementally. Direct mutation is detected via the
+// instances' version counters: Solve returns an error and Objective
+// panics on a stale problem.
 type Problem struct {
 	I          *data.Instance
 	J          *data.Instance
@@ -67,9 +75,18 @@ type Problem struct {
 	CoverOptions cover.Options
 
 	prepareOnce sync.Once
+	prepared    bool
 	jidx        *cover.JIndex
 	analyses    []cover.Analysis
 	incidence   *cover.Incidence
+
+	// mu serialises AppendTarget calls; tracker is the retained
+	// streaming state (built by PrepareStreaming, or lazily by the
+	// first AppendTarget). iVer/jVer are the instance versions the
+	// prepared evidence reflects.
+	mu         sync.Mutex
+	tracker    *cover.Tracker
+	iVer, jVer uint64
 }
 
 // NewProblem builds a problem with default weights and cover options.
@@ -96,12 +113,99 @@ func (p *Problem) Prepare() { p.PrepareN(0) }
 // work is embarrassingly parallel. Only the first Prepare/PrepareN
 // call on a Problem does work; later calls (any bound) return
 // immediately.
-func (p *Problem) PrepareN(workers int) {
+func (p *Problem) PrepareN(workers int) { p.prepareWith(workers, false) }
+
+// PrepareStreaming is Prepare for problems whose target will grow: it
+// additionally retains the streaming state AppendTarget consumes
+// (chase blocks and error sets), so the first append does not have to
+// rebuild it. The analyses are value-identical to Prepare's. Workers
+// semantics match PrepareN.
+func (p *Problem) PrepareStreaming(workers int) { p.prepareWith(workers, true) }
+
+func (p *Problem) prepareWith(workers int, streaming bool) {
 	p.prepareOnce.Do(func() {
 		p.jidx = cover.IndexJ(p.J)
-		p.analyses = cover.AnalyzeN(p.I, p.jidx, p.Candidates, p.CoverOptions, workers)
+		if streaming {
+			p.tracker, p.analyses = cover.BuildTracker(p.I, p.jidx, p.Candidates, p.CoverOptions, workers)
+		} else {
+			p.analyses = cover.AnalyzeN(p.I, p.jidx, p.Candidates, p.CoverOptions, workers)
+		}
 		p.incidence = cover.BuildIncidence(p.jidx.Len(), p.analyses)
+		p.iVer, p.jVer = p.I.Version(), p.J.Version()
+		p.prepared = true
 	})
+}
+
+// TargetDelta reports what one AppendTarget changed; see
+// cover.TrackerDelta for the fields. Evaluators created before the
+// append apply it via Evaluator.ExtendTarget (or Resync).
+type TargetDelta = cover.TrackerDelta
+
+// AppendTarget grows the target J by the given tuples (duplicates of
+// existing J tuples are ignored) and applies the delta to the prepared
+// evidence instead of invalidating it: new tuples take the next index
+// ids, only chase blocks matching the delta are re-enumerated, error
+// tuples are probed against the delta alone, and the incidence is
+// refreshed. The resulting evidence is value-identical to a cold
+// Prepare over the grown target (see cover.Tracker).
+//
+// AppendTarget prepares the problem if needed, serialises concurrent
+// appends, and must not run concurrently with Solve/Objective calls
+// on the same Problem — re-solve after the append returns (typically
+// with WithWarmStart). If the problem was prepared without
+// PrepareStreaming, the first append rebuilds the retained streaming
+// state once (about one Prepare's worth of work); later appends are
+// incremental.
+func (p *Problem) AppendTarget(tuples []data.Tuple) (*TargetDelta, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.Prepare()
+	if err := p.CheckFresh(); err != nil {
+		return nil, err
+	}
+	if p.tracker == nil {
+		p.tracker, p.analyses = cover.BuildTracker(p.I, p.jidx, p.Candidates, p.CoverOptions, 0)
+	}
+	var added []data.Tuple
+	for _, t := range tuples {
+		if p.J.Add(t) {
+			added = append(added, t)
+		}
+	}
+	delta := p.tracker.Append(added, p.analyses, 0)
+	if len(added) > 0 {
+		if len(delta.PairsChanged) == 0 {
+			// No coverage row changed: the appended tuples are (so far)
+			// uncovered, so the incidence only grows empty rows.
+			p.incidence.Grow(p.jidx.Len())
+		} else {
+			p.incidence = cover.BuildIncidence(p.jidx.Len(), p.analyses)
+		}
+	}
+	p.jVer = p.J.Version()
+	return delta, nil
+}
+
+// CheckFresh reports whether the prepared evidence still reflects the
+// problem's instances; it returns a descriptive error when I or J was
+// mutated directly after Prepare (the stale-evidence hazard). Appends
+// through AppendTarget keep the problem fresh. Solvers call this after
+// their prepare phase.
+func (p *Problem) CheckFresh() error {
+	if !p.prepared {
+		return nil
+	}
+	if p.I.Version() != p.iVer || p.J.Version() != p.jVer {
+		return fmt.Errorf("core: problem instances were mutated after Prepare — the evidence is stale; grow J with AppendTarget, or build a new Problem")
+	}
+	return nil
+}
+
+// mustFresh is CheckFresh for paths without an error return.
+func (p *Problem) mustFresh() {
+	if err := p.CheckFresh(); err != nil {
+		panic(err)
+	}
 }
 
 // Analyses exposes the per-candidate evidence (after Prepare).
@@ -131,6 +235,7 @@ func (p *Problem) NumCandidates() int { return len(p.Candidates) }
 // true iff candidate i is selected). len(sel) must equal |C|.
 func (p *Problem) Objective(sel []bool) Breakdown {
 	p.Prepare()
+	p.mustFresh()
 	var b Breakdown
 	// Max coverage per J tuple over the selected candidates.
 	maxCov := make([]float64, p.jidx.Len())

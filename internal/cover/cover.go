@@ -78,6 +78,19 @@ func IndexJ(J *data.Instance) *JIndex {
 	return ix
 }
 
+// Append indexes new target tuples, assigning them the next ids (the
+// posting lists of the underlying data.Index are extended in place).
+// The caller must not append tuples already indexed; core.Problem
+// dedups against its J instance first.
+func (ix *JIndex) Append(tuples []data.Tuple) {
+	base := len(ix.Tuples)
+	ix.idx.Append(tuples)
+	ix.Tuples = ix.idx.Tuples()
+	for i := base; i < len(ix.Tuples); i++ {
+		ix.byKey[ix.Tuples[i].Key()] = i
+	}
+}
+
 // IndexOf returns the index of the tuple, or -1.
 func (ix *JIndex) IndexOf(t data.Tuple) int {
 	if i, ok := ix.byKey[t.Key()]; ok {
@@ -163,22 +176,40 @@ func Analyze(I *data.Instance, jidx *JIndex, candidates tgd.Mapping, opts Option
 // 1 forces serial analysis, 0 or negative means GOMAXPROCS.
 func AnalyzeN(I *data.Instance, jidx *JIndex, candidates tgd.Mapping, opts Options, workers int) []Analysis {
 	out := make([]Analysis, len(candidates))
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(candidates) {
-		workers = len(candidates)
-	}
 	// blockMemo shares per-block cover contributions across candidates
 	// (and workers): identical chase blocks — projections and copies
 	// are rife in generated candidate sets — are analysed once.
 	var blockMemo sync.Map
+	runWorkers(jidx, len(candidates), workers, func(w *analyzeWorker, i int) {
+		out[i] = w.analyzeOne(i, candidates[i], I, &blockMemo, opts, nil)
+	})
+	return out
+}
+
+// AnalyzeOne computes the Analysis of a single candidate.
+func AnalyzeOne(index int, d *tgd.TGD, I, J *data.Instance, opts Options) Analysis {
+	jidx := IndexJ(J)
+	return newAnalyzeWorker(jidx).analyzeOne(index, d, I, new(sync.Map), opts, nil)
+}
+
+// runWorkers executes fn(w, i) for every i in [0, n) on a pool of
+// `workers` goroutines (≤ 0 means GOMAXPROCS, capped at n), each
+// owning a fresh analyzeWorker over jidx; a single worker runs
+// inline. Every analysis fan-out in this package — cold, tracked, and
+// the delta rescans — goes through here.
+func runWorkers(jidx *JIndex, n, workers int, fn func(w *analyzeWorker, i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
 	if workers <= 1 {
 		w := newAnalyzeWorker(jidx)
-		for i, d := range candidates {
-			out[i] = w.analyzeOne(i, d, I, &blockMemo, opts)
+		for i := 0; i < n; i++ {
+			fn(w, i)
 		}
-		return out
+		return
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -188,22 +219,15 @@ func AnalyzeN(I *data.Instance, jidx *JIndex, candidates tgd.Mapping, opts Optio
 			defer wg.Done()
 			w := newAnalyzeWorker(jidx)
 			for i := range next {
-				out[i] = w.analyzeOne(i, candidates[i], I, &blockMemo, opts)
+				fn(w, i)
 			}
 		}()
 	}
-	for i := range candidates {
+	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
-	return out
-}
-
-// AnalyzeOne computes the Analysis of a single candidate.
-func AnalyzeOne(index int, d *tgd.TGD, I, J *data.Instance, opts Options) Analysis {
-	jidx := IndexJ(J)
-	return newAnalyzeWorker(jidx).analyzeOne(index, d, I, new(sync.Map), opts)
 }
 
 // analyzeWorker bundles one worker's searcher and dense accumulation
@@ -225,7 +249,11 @@ func newAnalyzeWorker(jidx *JIndex) *analyzeWorker {
 	}
 }
 
-func (w *analyzeWorker) analyzeOne(index int, d *tgd.TGD, I *data.Instance, blockMemo *sync.Map, opts Options) Analysis {
+// analyzeOne computes one candidate's Analysis. A non-nil sink
+// additionally records the candidate's block keys and error tuples —
+// the retained streaming state of BuildTracker (delta.go); the
+// analysis itself is identical either way.
+func (w *analyzeWorker) analyzeOne(index int, d *tgd.TGD, I *data.Instance, blockMemo *sync.Map, opts Options, sink *trackSink) Analysis {
 	res := chase.ChaseOne(I, d, nil)
 	an := Analysis{
 		TGDIndex: index,
@@ -233,8 +261,16 @@ func (w *analyzeWorker) analyzeOne(index int, d *tgd.TGD, I *data.Instance, bloc
 		KTuples:  res.Instance.Len(),
 		Firings:  len(res.Blocks),
 	}
+	var keys []string
+	if sink != nil {
+		keys = make([]string, 0, len(res.Blocks))
+	}
 	for bi := range res.Blocks {
-		for _, pr := range w.blockContrib(res.Blocks[bi].Tuples, blockMemo, opts) {
+		key, tb := w.blockContrib(res.Blocks[bi].Tuples, blockMemo, opts)
+		if sink != nil {
+			keys = append(keys, key)
+		}
+		for _, pr := range tb.pairs {
 			if pr.Cov > w.acc[pr.J] {
 				if w.acc[pr.J] == 0 {
 					w.accTouch = append(w.accTouch, pr.J)
@@ -247,7 +283,13 @@ func (w *analyzeWorker) analyzeOne(index int, d *tgd.TGD, I *data.Instance, bloc
 	for _, t := range res.Instance.All() {
 		if !w.searcher.TupleEmbeds(t) {
 			an.Errors++
+			if sink != nil {
+				sink.errs[index] = append(sink.errs[index], t)
+			}
 		}
+	}
+	if sink != nil {
+		sink.keys[index] = keys
 	}
 	return an
 }
@@ -256,12 +298,22 @@ func (w *analyzeWorker) analyzeOne(index int, d *tgd.TGD, I *data.Instance, bloc
 // degree each J tuple receives from any partial homomorphism of the
 // block — memoised by the block's canonical form: equal blocks up to
 // null renaming contribute identically, whichever candidate fired
-// them.
-func (w *analyzeWorker) blockContrib(block []data.Tuple, blockMemo *sync.Map, opts Options) []CoverPair {
+// them. The memoised trackedBlock retains a representative block
+// alongside the pairs, which is what the streaming Tracker keeps.
+func (w *analyzeWorker) blockContrib(block []data.Tuple, blockMemo *sync.Map, opts Options) (string, *trackedBlock) {
 	key := data.BlockCanonKey(block)
 	if v, ok := blockMemo.Load(key); ok {
-		return v.([]CoverPair)
+		return key, v.(*trackedBlock)
 	}
+	pairs := w.enumerateBlockPairs(block, opts)
+	actual, _ := blockMemo.LoadOrStore(key, &trackedBlock{tuples: block, pairs: pairs})
+	return key, actual.(*trackedBlock)
+}
+
+// enumerateBlockPairs runs the partial-homomorphism enumeration of one
+// block against the searcher's index and returns the block's cover
+// contribution (max degree per J tuple, sparse and sorted).
+func (w *analyzeWorker) enumerateBlockPairs(block []data.Tuple, opts Options) []CoverPair {
 	w.searcher.EnumeratePartialHoms(block, opts.HomLimit, func(m *data.IndexedMatch) bool {
 		for i, mapped := range m.Mapped {
 			if !mapped {
@@ -280,9 +332,7 @@ func (w *analyzeWorker) blockContrib(block []data.Tuple, blockMemo *sync.Map, op
 		}
 		return true
 	})
-	pairs := w.drain(&w.blk, &w.blkTouch)
-	actual, _ := blockMemo.LoadOrStore(key, pairs)
-	return actual.([]CoverPair)
+	return w.drain(&w.blk, &w.blkTouch)
 }
 
 // drain converts a dense accumulator plus touched list into sorted
@@ -400,6 +450,19 @@ func BuildIncidence(nj int, analyses []Analysis) *Incidence {
 		}
 	}
 	return inc
+}
+
+// Grow extends the incidence to span nj tuples, giving the appended
+// tuples empty rows in O(new tuples). It is the fast path for target
+// appends that changed no candidate's coverage (cover.TrackerDelta
+// with an empty PairsChanged); appends that did change rows need a
+// BuildIncidence rebuild — a memory pass dwarfed by the dirty-block
+// re-enumeration that caused it.
+func (inc *Incidence) Grow(nj int) {
+	last := inc.starts[len(inc.starts)-1]
+	for len(inc.starts) < nj+1 {
+		inc.starts = append(inc.starts, last)
+	}
 }
 
 // Row returns the candidates covering J tuple j and their degrees,

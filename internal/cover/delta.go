@@ -1,0 +1,301 @@
+package cover
+
+// Incremental ("delta") evidence maintenance for streaming targets.
+//
+// The Eq. (9) evidence of a candidate depends on (I, θ) through its
+// chase — which never changes when the target J grows — and on J
+// through two monotone-ish quantities: the per-block homomorphism
+// contributions (new J tuples can only add candidate images) and the
+// creates errors (a chase tuple that gains an image stops being an
+// error). A Tracker retains exactly the state needed to exploit that:
+// the chase blocks deduped by canonical key with their current cover
+// contribution, and the chase tuples currently lacking an image. An
+// Append then
+//
+//  1. finds the blocks "dirty" against the delta — those with a block
+//     tuple whose constant pattern matches some appended tuple; every
+//     other block keeps an identical candidate set, hence an identical
+//     enumeration, and is never rescanned;
+//  2. re-enumerates only the dirty blocks against the extended index
+//     (which is exactly the enumeration a cold analysis would run);
+//  3. rebuilds the Pairs of candidates owning a changed block by
+//     max-merging the cached per-block contributions — no
+//     homomorphism search for their clean blocks; and
+//  4. probes each candidate's current error tuples against the delta
+//     only, clearing the ones that gained an image.
+//
+// The result is value-identical to a cold AnalyzeN over the extended
+// target: appended tuples take the next index ids (arrival order), so
+// the evidence equals the cold analysis of a J listing its tuples in
+// that same order — covers/creates values per concrete tuple are
+// identical either way. (The one caveat is a HomLimit low enough to
+// truncate a block's enumeration: a truncated max depends on the
+// enumeration order, which depends on tuple arrival order, exactly as
+// it does for two cold analyses of differently-ordered instances.)
+
+import (
+	"sort"
+	"sync"
+
+	"schemamap/internal/data"
+	"schemamap/internal/tgd"
+)
+
+// trackedBlock is one distinct chase block (up to null renaming) with
+// its current cover contribution against the tracked target.
+type trackedBlock struct {
+	// tuples is a representative block (coverage is invariant under the
+	// null renaming that canonical keys quotient out).
+	tuples []data.Tuple
+	// pairs is the block's current contribution: max coverage degree
+	// per J tuple over its partial homomorphisms, sparse and sorted.
+	pairs []CoverPair
+}
+
+// Tracker is the retained streaming state of one analysed candidate
+// set: everything needed to apply target appends to a []Analysis
+// without re-running the chase or rescanning clean evidence. Build it
+// with BuildTracker; it is not safe for concurrent use (core.Problem
+// serialises appends).
+type Tracker struct {
+	jidx *JIndex
+	opts Options
+	// blocks holds every distinct chase block by canonical key.
+	blocks map[string]*trackedBlock
+	// candKeys lists each candidate's block keys, in block order.
+	candKeys [][]string
+	// errTuples lists each candidate's chase tuples currently lacking
+	// a homomorphic image in J (its creates errors).
+	errTuples [][]data.Tuple
+}
+
+// TrackerDelta reports what one Append changed, so downstream
+// incremental state (incidence rows, solver evaluators) can update in
+// O(changed) instead of rescanning.
+type TrackerDelta struct {
+	// OldTuples and NewTuples are the target sizes around the append;
+	// ids OldTuples..NewTuples-1 are the appended tuples.
+	OldTuples, NewTuples int
+	// ChangedTuples lists pre-existing J tuple ids whose coverage by
+	// some candidate changed (sorted ascending). Appended ids are not
+	// listed — the id range above already identifies them.
+	ChangedTuples []int32
+	// PairsChanged lists candidates whose Pairs slice changed.
+	PairsChanged []int32
+	// ErrorsChanged lists candidates whose Errors count dropped.
+	ErrorsChanged []int32
+}
+
+// trackSink collects the streaming state analyzeOne records when
+// asked to: per-candidate block keys and error tuples.
+type trackSink struct {
+	keys [][]string
+	errs [][]data.Tuple
+}
+
+// BuildTracker runs the full evidence analysis (the exact analyzeOne
+// body AnalyzeN runs, on the same worker pool) while retaining the
+// streaming state, returning both. Use it instead of AnalyzeN when
+// the target will grow; the analyses are value-identical to
+// AnalyzeN's.
+func BuildTracker(I *data.Instance, jidx *JIndex, candidates tgd.Mapping, opts Options, workers int) (*Tracker, []Analysis) {
+	analyses := make([]Analysis, len(candidates))
+	sink := &trackSink{
+		keys: make([][]string, len(candidates)),
+		errs: make([][]data.Tuple, len(candidates)),
+	}
+	var memo sync.Map // canonical key → *trackedBlock
+	runWorkers(jidx, len(candidates), workers, func(w *analyzeWorker, i int) {
+		analyses[i] = w.analyzeOne(i, candidates[i], I, &memo, opts, sink)
+	})
+	t := &Tracker{
+		jidx:      jidx,
+		opts:      opts,
+		blocks:    make(map[string]*trackedBlock),
+		candKeys:  sink.keys,
+		errTuples: sink.errs,
+	}
+	memo.Range(func(k, v any) bool {
+		t.blocks[k.(string)] = v.(*trackedBlock)
+		return true
+	})
+	return t, analyses
+}
+
+// Append applies a target delta: it extends the tracker's JIndex with
+// the new tuples (which must already be deduped against the indexed
+// target), updates the analyses in place, and reports what changed.
+// analyses must be the slice BuildTracker returned (same order).
+// Dirty-block re-enumeration runs on a pool of `workers` goroutines
+// (≤ 0 means GOMAXPROCS); everything else is cheap bookkeeping.
+func (t *Tracker) Append(delta []data.Tuple, analyses []Analysis, workers int) *TrackerDelta {
+	oldLen := t.jidx.Len()
+	out := &TrackerDelta{OldTuples: oldLen, NewTuples: oldLen + len(delta)}
+	if len(delta) == 0 {
+		return out
+	}
+	t.jidx.Append(delta)
+
+	// 1. Dirty detection: a block must be re-enumerated iff one of its
+	// tuples can map onto an appended tuple (constant positions agree).
+	// Memoised per null-insensitive pattern — the candidate sets the
+	// index would return are pattern-determined.
+	patDirty := make(map[string]bool)
+	tupleDirty := func(bt data.Tuple) bool {
+		pat := bt.Pattern()
+		if v, ok := patDirty[pat]; ok {
+			return v
+		}
+		dirty := false
+		for _, dt := range delta {
+			if data.MatchConstPositions(bt, dt) {
+				dirty = true
+				break
+			}
+		}
+		patDirty[pat] = dirty
+		return dirty
+	}
+	var dirtyKeys []string
+	for key, tb := range t.blocks {
+		for _, bt := range tb.tuples {
+			if tupleDirty(bt) {
+				dirtyKeys = append(dirtyKeys, key)
+				break
+			}
+		}
+	}
+	sort.Strings(dirtyKeys) // stable work order (results are order-independent)
+
+	// 2. Re-enumerate dirty blocks against the extended index. Each
+	// worker owns a fresh searcher (the pre-append memos are stale).
+	changedKeys := make(map[string]bool, len(dirtyKeys))
+	if len(dirtyKeys) > 0 {
+		changed := make([]bool, len(dirtyKeys))
+		runWorkers(t.jidx, len(dirtyKeys), workers, func(w *analyzeWorker, k int) {
+			tb := t.blocks[dirtyKeys[k]]
+			pairs := w.enumerateBlockPairs(tb.tuples, t.opts)
+			if !pairsEqual(pairs, tb.pairs) {
+				tb.pairs = pairs
+				changed[k] = true
+			}
+		})
+		for k, c := range changed {
+			if c {
+				changedKeys[dirtyKeys[k]] = true
+			}
+		}
+	}
+
+	// 3. Rebuild the Pairs of candidates owning a changed block by
+	// max-merging their blocks' cached contributions (memory pass, no
+	// search), and record which pre-existing tuples changed coverage.
+	touched := make(map[int32]bool)
+	if len(changedKeys) > 0 {
+		w := newAnalyzeWorker(t.jidx) // merge scratch sized to the new |J|
+		for i, keys := range t.candKeys {
+			affected := false
+			for _, key := range keys {
+				if changedKeys[key] {
+					affected = true
+					break
+				}
+			}
+			if !affected {
+				continue
+			}
+			for _, key := range keys {
+				for _, pr := range t.blocks[key].pairs {
+					if pr.Cov > w.acc[pr.J] {
+						if w.acc[pr.J] == 0 {
+							w.accTouch = append(w.accTouch, pr.J)
+						}
+						w.acc[pr.J] = pr.Cov
+					}
+				}
+			}
+			newPairs := w.drain(&w.acc, &w.accTouch)
+			diffPairs(analyses[i].Pairs, newPairs, int32(oldLen), touched)
+			analyses[i].Pairs = newPairs
+			out.PairsChanged = append(out.PairsChanged, int32(i))
+		}
+	}
+	out.ChangedTuples = make([]int32, 0, len(touched))
+	for j := range touched {
+		out.ChangedTuples = append(out.ChangedTuples, j)
+	}
+	sort.Slice(out.ChangedTuples, func(a, b int) bool { return out.ChangedTuples[a] < out.ChangedTuples[b] })
+
+	// 4. Errors: a chase tuple still erroring stops iff it maps onto an
+	// appended tuple; probe the delta directly, memoised per canonical
+	// pattern (the verdict is null-renaming invariant).
+	embDelta := make(map[string]bool)
+	mapsToDelta := func(ct data.Tuple) bool {
+		pat := ct.CanonPattern()
+		if v, ok := embDelta[pat]; ok {
+			return v
+		}
+		ok := false
+		for _, dt := range delta {
+			if data.TupleMapsTo(ct, dt) {
+				ok = true
+				break
+			}
+		}
+		embDelta[pat] = ok
+		return ok
+	}
+	for i, errs := range t.errTuples {
+		kept := errs[:0]
+		for _, ct := range errs {
+			if !mapsToDelta(ct) {
+				kept = append(kept, ct)
+			}
+		}
+		if len(kept) != len(errs) {
+			t.errTuples[i] = kept
+			analyses[i].Errors = float64(len(kept))
+			out.ErrorsChanged = append(out.ErrorsChanged, int32(i))
+		}
+	}
+	return out
+}
+
+// pairsEqual reports exact equality of two sparse cover rows.
+func pairsEqual(a, b []CoverPair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffPairs records into touched the J ids below limit whose coverage
+// differs between the sorted sparse rows prev and cur.
+func diffPairs(prev, cur []CoverPair, limit int32, touched map[int32]bool) {
+	i, j := 0, 0
+	for i < len(prev) || j < len(cur) {
+		switch {
+		case j >= len(cur) || (i < len(prev) && prev[i].J < cur[j].J):
+			if prev[i].J < limit {
+				touched[prev[i].J] = true
+			}
+			i++
+		case i >= len(prev) || cur[j].J < prev[i].J:
+			if cur[j].J < limit {
+				touched[cur[j].J] = true
+			}
+			j++
+		default: // same id
+			if prev[i].Cov != cur[j].Cov && prev[i].J < limit {
+				touched[prev[i].J] = true
+			}
+			i++
+			j++
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package cover
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"schemamap/internal/data"
+	"schemamap/internal/ibench"
+	"schemamap/internal/tgd"
+)
+
+// BuildTracker must produce exactly the analyses AnalyzeN produces —
+// it is the same pipeline plus retention.
+func TestBuildTrackerMatchesAnalyzeN(t *testing.T) {
+	for ci, cfg := range scenarioConfigs() {
+		sc, err := ibench.Generate(cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", ci, err)
+		}
+		want := AnalyzeN(sc.I, IndexJ(sc.J), sc.Candidates, DefaultOptions(), 4)
+		for _, workers := range []int{1, 4} {
+			_, got := BuildTracker(sc.I, IndexJ(sc.J), sc.Candidates, DefaultOptions(), workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("config %d workers %d: tracked analyses diverge from AnalyzeN", ci, workers)
+			}
+		}
+	}
+}
+
+// splitTuples deals the tuples of J into an initial instance plus n
+// append batches, in a seeded shuffled order (streaming arrival).
+func splitTuples(J *data.Instance, n int, rng *rand.Rand) (*data.Instance, [][]data.Tuple) {
+	all := J.All()
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	k := len(all) / 2
+	initial := data.NewInstance()
+	for _, t := range all[:k] {
+		initial.Add(t)
+	}
+	rest := all[k:]
+	batches := make([][]data.Tuple, 0, n)
+	for b := 0; b < n; b++ {
+		lo, hi := b*len(rest)/n, (b+1)*len(rest)/n
+		batches = append(batches, rest[lo:hi])
+	}
+	return initial, batches
+}
+
+// remapPairs translates an Analysis's pair ids from one JIndex to
+// another (the same tuples, possibly in a different order), re-sorted.
+func remapPairs(an Analysis, from, to *JIndex) Analysis {
+	out := an
+	out.Pairs = make([]CoverPair, len(an.Pairs))
+	for k, pr := range an.Pairs {
+		j := to.IndexOf(from.Tuples[pr.J])
+		if j < 0 {
+			panic("remapPairs: tuple missing from target index")
+		}
+		out.Pairs[k] = CoverPair{J: int32(j), Cov: pr.Cov}
+	}
+	pairs := out.Pairs
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j].J < pairs[j-1].J; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	return out
+}
+
+// instanceOfTuples builds an instance from a tuple list.
+func instanceOfTuples(ts []data.Tuple) *data.Instance {
+	in := data.NewInstance()
+	for _, t := range ts {
+		in.Add(t)
+	}
+	return in
+}
+
+// assertTrackedMatchesCold compares incremental analyses (over jidx)
+// against a cold AnalyzeN of the same target tuples, up to the tuple-
+// id permutation induced by arrival order.
+func assertTrackedMatchesCold(t *testing.T, label string, I *data.Instance, jidx *JIndex, cands tgd.Mapping, opts Options, got []Analysis) {
+	t.Helper()
+	coldJidx := IndexJ(instanceOfTuples(jidx.Tuples))
+	want := AnalyzeN(I, coldJidx, cands, opts, 1)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d analyses vs cold %d", label, len(got), len(want))
+	}
+	for i := range got {
+		g := remapPairs(got[i], jidx, coldJidx)
+		if !reflect.DeepEqual(g, want[i]) {
+			t.Errorf("%s candidate %d:\n incr (remapped) %+v\n cold            %+v", label, i, g, want[i])
+		}
+	}
+}
+
+// N incremental appends must yield evidence identical to one cold
+// analysis of the final target — checked after every batch, on the
+// harness's seeded scenarios.
+func TestTrackerAppendMatchesColdOnScenarios(t *testing.T) {
+	for ci, cfg := range scenarioConfigs() {
+		sc, err := ibench.Generate(cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", ci, err)
+		}
+		rng := rand.New(rand.NewSource(int64(ci) + 101))
+		initial, batches := splitTuples(sc.J, 4, rng)
+		jidx := IndexJ(initial)
+		tracker, analyses := BuildTracker(sc.I, jidx, sc.Candidates, DefaultOptions(), 4)
+		for bi, batch := range batches {
+			before := snapshotCoverage(analyses)
+			delta := tracker.Append(batch, analyses, 2)
+			if delta.OldTuples+len(batch) != delta.NewTuples || delta.NewTuples != jidx.Len() {
+				t.Fatalf("config %d batch %d: delta range %d..%d, index has %d",
+					ci, bi, delta.OldTuples, delta.NewTuples, jidx.Len())
+			}
+			assertTrackedMatchesCold(t, "scenario", sc.I, jidx, sc.Candidates, DefaultOptions(), analyses)
+			assertChangedTuplesSound(t, before, analyses, delta)
+		}
+	}
+}
+
+// snapshotCoverage copies every candidate's sparse row.
+func snapshotCoverage(analyses []Analysis) [][]CoverPair {
+	out := make([][]CoverPair, len(analyses))
+	for i := range analyses {
+		out[i] = append([]CoverPair(nil), analyses[i].Pairs...)
+	}
+	return out
+}
+
+// assertChangedTuplesSound verifies the delta report: any pre-existing
+// tuple whose coverage changed for any candidate must be listed in
+// ChangedTuples, and candidates with changed rows in PairsChanged.
+func assertChangedTuplesSound(t *testing.T, before [][]CoverPair, analyses []Analysis, delta *TrackerDelta) {
+	t.Helper()
+	changed := make(map[int32]bool, len(delta.ChangedTuples))
+	for _, j := range delta.ChangedTuples {
+		changed[j] = true
+	}
+	pairsChanged := make(map[int32]bool, len(delta.PairsChanged))
+	for _, i := range delta.PairsChanged {
+		pairsChanged[i] = true
+	}
+	for i := range analyses {
+		old := Analysis{Pairs: before[i]}
+		cur := &analyses[i]
+		if !pairsEqual(before[i], cur.Pairs) && !pairsChanged[int32(i)] {
+			t.Errorf("candidate %d row changed but not reported in PairsChanged", i)
+		}
+		for _, pr := range cur.Pairs {
+			if int(pr.J) >= delta.OldTuples {
+				continue
+			}
+			if old.CoversOf(int(pr.J)) != pr.Cov && !changed[pr.J] {
+				t.Errorf("candidate %d tuple %d: coverage %v→%v unreported",
+					i, pr.J, old.CoversOf(int(pr.J)), pr.Cov)
+			}
+		}
+	}
+}
+
+// Random small scenarios, random split sizes, both corroboration
+// settings — the shapes the ibench generator does not produce.
+func TestTrackerAppendRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 40; trial++ {
+		I, J, cands := randomScenario(rng)
+		opts := DefaultOptions()
+		if trial%3 == 2 {
+			opts.Corroboration = false
+		}
+		nb := 1 + rng.Intn(4)
+		initial, batches := splitTuples(J, nb, rng)
+		jidx := IndexJ(initial)
+		tracker, analyses := BuildTracker(I, jidx, cands, opts, 1)
+		for _, batch := range batches {
+			tracker.Append(batch, analyses, 1)
+		}
+		assertTrackedMatchesCold(t, "random", I, jidx, cands, opts, analyses)
+	}
+}
+
+// An empty delta is a no-op and reports nothing.
+func TestTrackerAppendEmpty(t *testing.T) {
+	sc, err := ibench.Generate(scenarioConfigs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	jidx := IndexJ(sc.J)
+	tracker, analyses := BuildTracker(sc.I, jidx, sc.Candidates, DefaultOptions(), 2)
+	before := snapshotCoverage(analyses)
+	delta := tracker.Append(nil, analyses, 2)
+	if len(delta.ChangedTuples) != 0 || len(delta.PairsChanged) != 0 || len(delta.ErrorsChanged) != 0 {
+		t.Fatalf("empty append reported changes: %+v", delta)
+	}
+	for i := range analyses {
+		if !pairsEqual(before[i], analyses[i].Pairs) {
+			t.Fatalf("empty append mutated candidate %d", i)
+		}
+	}
+}
+
+// The indexed Append must also agree with a from-scratch rebuild of
+// the posting-list index over the same tuple order.
+func TestJIndexAppendMatchesRebuild(t *testing.T) {
+	sc, err := ibench.Generate(scenarioConfigs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	initial, batches := splitTuples(sc.J, 3, rng)
+	jidx := IndexJ(initial)
+	for _, b := range batches {
+		jidx.Append(b)
+	}
+	if jidx.Len() != sc.J.Len() {
+		t.Fatalf("appended index has %d tuples, want %d", jidx.Len(), sc.J.Len())
+	}
+	for i, tp := range jidx.Tuples {
+		if jidx.IndexOf(tp) != i {
+			t.Fatalf("byKey lookup of appended tuple %d broken", i)
+		}
+		if !jidx.Index().Tuple(int32(i)).Equal(tp) {
+			t.Fatalf("index id %d does not resolve to its tuple", i)
+		}
+	}
+	// Candidate sets must match a rebuilt index probe for probe (as
+	// tuple sets — ids depend on insertion order).
+	rebuilt := data.NewIndex(instanceOfTuples(jidx.Tuples))
+	asKeys := func(ix *data.Index, ids []int32) []string {
+		keys := make([]string, len(ids))
+		for k, id := range ids {
+			keys[k] = ix.Tuple(id).Key()
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	for _, tp := range jidx.Tuples {
+		got := asKeys(jidx.Index(), jidx.Index().Candidates(tp))
+		want := asKeys(rebuilt, rebuilt.Candidates(tp))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("candidate set of %v: appended %v, rebuilt %v", tp, got, want)
+		}
+	}
+}

@@ -5,7 +5,11 @@ package data
 // name. The first row may be a header (detected or forced by the
 // caller). Values are constants; the token "⊥name" (or "_:name",
 // RDF-style) denotes the labelled null "name" on import and is
-// produced as "⊥name" on export.
+// produced as "⊥name" on export. A *constant* that happens to begin
+// with "⊥", "_:" or the escape character "\" is written with a
+// leading "\" so it round-trips as a constant instead of being
+// re-imported as a labelled null; ReadCSV strips one leading "\" and
+// takes the rest verbatim.
 
 import (
 	"encoding/csv"
@@ -16,28 +20,41 @@ import (
 )
 
 // ReadCSV loads tuples of one relation from CSV. If header is true
-// the first row is skipped. Rows must all have the same width.
+// the first record is skipped. Records whose fields are all empty are
+// treated as blank separator lines and ignored (so a stray blank row
+// can neither become a tuple nor fix the inferred width at 1); all
+// remaining records must have the same width. Errors report the true
+// line number in the file, header and blank lines included.
 func ReadCSV(r io.Reader, rel string, header bool) ([]Tuple, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("data: csv %s: %w", rel, err)
-	}
-	if header && len(rows) > 0 {
-		rows = rows[1:]
-	}
 	var out []Tuple
 	width := -1
-	for i, row := range rows {
-		if len(row) == 0 {
+	first := true
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// encoding/csv parse errors already carry the line number.
+			return nil, fmt.Errorf("data: csv %s: %w", rel, err)
+		}
+		line, _ := cr.FieldPos(0)
+		if first {
+			first = false
+			if header {
+				continue
+			}
+		}
+		if isBlankRecord(row) {
 			continue
 		}
 		if width < 0 {
 			width = len(row)
 		}
 		if len(row) != width {
-			return nil, fmt.Errorf("data: csv %s row %d has %d fields, want %d", rel, i+1, len(row), width)
+			return nil, fmt.Errorf("data: csv %s line %d has %d fields, want %d", rel, line, len(row), width)
 		}
 		args := make([]Value, len(row))
 		for j, cell := range row {
@@ -48,8 +65,23 @@ func ReadCSV(r io.Reader, rel string, header bool) ([]Tuple, error) {
 	return out, nil
 }
 
+// isBlankRecord reports whether every field of the record is empty —
+// the shape a blank (or all-comma) line parses to.
+func isBlankRecord(row []string) bool {
+	for _, cell := range row {
+		if cell != "" {
+			return false
+		}
+	}
+	return true
+}
+
 func parseCSVValue(cell string) Value {
 	switch {
+	case strings.HasPrefix(cell, `\`):
+		// Escaped constant: whatever follows the backslash, verbatim
+		// (covers constants beginning with "⊥", "_:" or "\").
+		return Const(cell[1:])
 	case strings.HasPrefix(cell, "⊥"):
 		return NullValue(strings.TrimPrefix(cell, "⊥"))
 	case strings.HasPrefix(cell, "_:"):
@@ -57,6 +89,23 @@ func parseCSVValue(cell string) Value {
 	default:
 		return Const(cell)
 	}
+}
+
+// formatCSVValue renders a value so that parseCSVValue inverts it
+// exactly: nulls get the "⊥" prefix, and constants colliding with a
+// null marker (or with the escape itself) get a leading "\". The
+// empty constant is escaped too ("\"), so a tuple of empty values
+// writes as `\,\,...` and cannot be mistaken for a blank separator
+// line on re-import.
+func formatCSVValue(v Value) string {
+	n := v.Name()
+	if v.IsNull() {
+		return "⊥" + n
+	}
+	if n == "" || strings.HasPrefix(n, "⊥") || strings.HasPrefix(n, "_:") || strings.HasPrefix(n, `\`) {
+		return `\` + n
+	}
+	return n
 }
 
 // WriteCSV writes the tuples of one relation as CSV, optionally with
@@ -73,11 +122,7 @@ func WriteCSV(w io.Writer, in *Instance, rel string, header []string) error {
 	for _, t := range tuples {
 		row := make([]string, len(t.Args))
 		for i, v := range t.Args {
-			if v.IsNull() {
-				row[i] = "⊥" + v.Name()
-			} else {
-				row[i] = v.Name()
-			}
+			row[i] = formatCSVValue(v)
 		}
 		if err := cw.Write(row); err != nil {
 			return err

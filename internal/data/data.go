@@ -192,7 +192,18 @@ type Instance struct {
 	keys  map[string]bool
 	order []string // relation insertion order
 	size  int
+	// version counts successful mutations (Add/Remove/Union hits), so
+	// consumers holding derived state (indices, cover evidence) can
+	// detect that the instance changed underneath them.
+	version uint64
 }
+
+// Version returns a counter that increases on every successful
+// mutation of the instance (an Add that inserted, a Remove that
+// deleted). Two reads returning the same value bracket a span with no
+// mutations; core.Problem uses this to reject solves on stale
+// evidence.
+func (in *Instance) Version() uint64 { return in.version }
 
 // NewInstance returns an empty instance.
 func NewInstance() *Instance {
@@ -212,6 +223,7 @@ func (in *Instance) Add(t Tuple) bool {
 	}
 	in.rels[t.Rel] = append(in.rels[t.Rel], t)
 	in.size++
+	in.version++
 	return true
 }
 
@@ -241,6 +253,7 @@ func (in *Instance) Remove(t Tuple) bool {
 		}
 	}
 	in.size--
+	in.version++
 	return true
 }
 

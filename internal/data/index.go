@@ -16,9 +16,11 @@ package data
 // differential tests in index_test.go and internal/cover pin the two
 // paths against each other, hom limits included.
 
-// Index is a read-only probe structure over one instance. Tuple ids
-// are positions in the Instance.All() order at build time; the index
-// does not observe later mutations of the instance.
+// Index is a probe structure over one instance. Tuple ids are
+// positions in the Instance.All() order at build time; the index does
+// not observe later mutations of the instance, but Append extends it
+// with new tuples (ids continue past the existing ones), which is the
+// streaming ingestion path of cover.Tracker.
 type Index struct {
 	tuples []Tuple
 	rels   map[string][]int32
@@ -48,6 +50,24 @@ func NewIndex(in *Instance) *Index {
 		}
 	}
 	return ix
+}
+
+// Append extends the index with new tuples, assigning them the next
+// ids. Posting lists stay in ascending id order (appended ids are
+// larger than every existing id), so enumeration order over tuples
+// already indexed is unchanged — the property the incremental cover
+// path relies on to skip blocks untouched by a delta. The caller is
+// responsible for not appending duplicates of indexed tuples.
+func (ix *Index) Append(tuples []Tuple) {
+	for _, t := range tuples {
+		id := int32(len(ix.tuples))
+		ix.tuples = append(ix.tuples, t)
+		ix.rels[t.Rel] = append(ix.rels[t.Rel], id)
+		for p, a := range t.Args {
+			k := postKey{rel: t.Rel, pos: p, val: a}
+			ix.post[k] = append(ix.post[k], id)
+		}
+	}
 }
 
 // Len returns the number of indexed tuples.
@@ -375,6 +395,14 @@ func appendInt(buf []byte, n int) []byte {
 		buf = appendInt(buf, n/10)
 	}
 	return append(buf, byte('0'+n%10))
+}
+
+// TupleMapsTo reports whether the single tuple t maps onto cand under
+// a homomorphism: constants preserved and repeated nulls consistently
+// assigned. It is the per-image predicate behind TupleEmbeds; the
+// incremental cover path uses it to probe a small delta directly.
+func TupleMapsTo(t, cand Tuple) bool {
+	return MatchConstPositions(t, cand) && repeatedNullsConsistent(t, cand)
 }
 
 // repeatedNullsConsistent reports whether cand assigns equal values to

@@ -1,0 +1,108 @@
+package ibench
+
+import (
+	"reflect"
+	"testing"
+)
+
+func streamScenario(t *testing.T) *Scenario {
+	t.Helper()
+	cfg := DefaultConfig(7, 7)
+	cfg.Rows = 10
+	cfg.PiCorresp = 20
+	cfg.PiErrors = 10
+	cfg.PiUnexplained = 10
+	sc, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// The stream must partition J exactly: initial ∪ batches = J, no
+// duplicates, no losses.
+func TestSplitTargetPartitionsJ(t *testing.T) {
+	sc := streamScenario(t)
+	for _, cfg := range []StreamConfig{
+		{Batches: 1},
+		{Batches: 4, Seed: 9},
+		{Batches: 8, InitialFrac: 0.25, Seed: 3},
+		{Batches: 100, InitialFrac: 0.9, Seed: 1}, // more batches than tuples → empty batches allowed
+	} {
+		st, err := SplitTarget(sc, cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if len(st.Batches) != cfg.Batches {
+			t.Fatalf("%+v: %d batches", cfg, len(st.Batches))
+		}
+		rebuilt := st.Initial.Clone()
+		for _, b := range st.Batches {
+			for _, tp := range b {
+				if !rebuilt.Add(tp) {
+					t.Fatalf("%+v: duplicate tuple %v in stream", cfg, tp)
+				}
+			}
+		}
+		if !rebuilt.Equal(sc.J) {
+			t.Fatalf("%+v: stream does not reassemble J", cfg)
+		}
+		if st.Initial.Len()+st.TotalAppended() != sc.J.Len() {
+			t.Fatalf("%+v: %d+%d tuples, want %d", cfg, st.Initial.Len(), st.TotalAppended(), sc.J.Len())
+		}
+	}
+}
+
+// Equal configurations must produce identical streams (the benchmark
+// and CI gates depend on seed-pinned reproducibility).
+func TestSplitTargetDeterministic(t *testing.T) {
+	sc := streamScenario(t)
+	cfg := StreamConfig{Batches: 6, InitialFrac: 0.4, Seed: 42}
+	a, err := SplitTarget(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SplitTarget(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Initial.Equal(b.Initial) {
+		t.Fatal("initial instances differ across identical configs")
+	}
+	if !reflect.DeepEqual(a.Batches, b.Batches) {
+		t.Fatal("batches differ across identical configs")
+	}
+	// A different seed reorders arrivals (same partition property).
+	c, err := SplitTarget(sc, StreamConfig{Batches: 6, InitialFrac: 0.4, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Batches, c.Batches) && a.Initial.Equal(c.Initial) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSplitTargetValidation(t *testing.T) {
+	sc := streamScenario(t)
+	if _, err := SplitTarget(sc, StreamConfig{Batches: 0}); err == nil {
+		t.Error("Batches=0 accepted")
+	}
+	if _, err := SplitTarget(sc, StreamConfig{Batches: 2, InitialFrac: 1.5}); err == nil {
+		t.Error("InitialFrac=1.5 accepted")
+	}
+	if _, err := SplitTarget(sc, StreamConfig{Batches: 2, InitialFrac: -0.1}); err == nil {
+		t.Error("negative InitialFrac accepted")
+	}
+}
+
+// SplitTarget must not mutate the scenario it splits.
+func TestSplitTargetLeavesScenarioIntact(t *testing.T) {
+	sc := streamScenario(t)
+	before := sc.J.Clone()
+	if _, err := SplitTarget(sc, StreamConfig{Batches: 3, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.J.Equal(before) {
+		t.Fatal("SplitTarget mutated the scenario's J")
+	}
+}

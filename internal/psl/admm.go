@@ -21,6 +21,13 @@ type ADMMOptions struct {
 	// around 0.5. The problem is convex, so the optimum is unchanged;
 	// the perturbation only breaks ties between symmetric variables.
 	Seed int64
+	// Initial, when its length equals the MRF's variable count, sets
+	// the starting consensus values (clamped to [0,1]) instead of the
+	// default 0.5 point, overriding the Seed perturbation. A start
+	// near the optimum — e.g. the solution of a slightly different
+	// MRF, the warm-start path — cuts the iterations to convergence;
+	// the optimum itself is unchanged (the problem is convex).
+	Initial []float64
 	// Progress, when non-nil, is called every progressEvery
 	// iterations with the current iteration count.
 	Progress func(iter int)
@@ -124,6 +131,17 @@ func SolveMAPContext(ctx context.Context, m *MRF, opts ADMMOptions) (*Solution, 
 		rng := rand.New(rand.NewSource(opts.Seed))
 		for i := range z {
 			z[i] = 0.45 + 0.1*rng.Float64()
+		}
+	}
+	if len(opts.Initial) == n {
+		for i, v := range opts.Initial {
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			z[i] = v
 		}
 	}
 	factors := buildFactors(m)

@@ -1,0 +1,95 @@
+package quality
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"schemamap/internal/core"
+	"schemamap/internal/ibench"
+	"schemamap/internal/metrics"
+)
+
+// Streaming ingestion must not change solution quality: on noisy
+// matrix cells, a solution reached by batched AppendTarget +
+// warm-start re-solves attains exactly the cold-solve objective, and
+// the exchanged data scores the same tuple-level F1. (The *selection*
+// may tie-differ: warm and cold fixed points can pick different
+// candidate sets with equal Eq. (9) value — the objective cannot
+// distinguish them — so mapping-level F1 is compared only when the
+// selections agree.)
+func TestStreamingSolveQualityParity(t *testing.T) {
+	ctx := context.Background()
+	cells, err := CellsNamed("mixed-S-mid", "VP-S-high")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range cells {
+		cfg, err := cell.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := ibench.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := ibench.SplitTarget(sc, ibench.StreamConfig{Batches: 4, Seed: cell.Seed + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"greedy", "collective"} {
+			solver, err := core.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Cold: one solve over the full target.
+			coldP := core.NewProblem(sc.I, sc.J.Clone(), sc.Candidates)
+			coldSel, err := solver.Solve(ctx, coldP)
+			if err != nil {
+				t.Fatalf("%s/%s cold: %v", cell.Name, name, err)
+			}
+			coldM := metrics.MappingPRF(coldP.SelectedMapping(coldSel.Chosen), sc.Gold)
+			coldT := metrics.TuplePRF(sc.I, coldP.SelectedMapping(coldSel.Chosen), sc.Gold)
+
+			// Streamed: ingest batches with warm-started re-solves.
+			p := core.NewProblem(sc.I, stream.Initial.Clone(), sc.Candidates)
+			p.PrepareStreaming(0)
+			prev, err := solver.Solve(ctx, p)
+			if err != nil {
+				t.Fatalf("%s/%s initial: %v", cell.Name, name, err)
+			}
+			for _, batch := range stream.Batches {
+				if _, err := p.AppendTarget(batch); err != nil {
+					t.Fatal(err)
+				}
+				prev, err = solver.Solve(ctx, p, core.WithWarmStart(prev))
+				if err != nil {
+					t.Fatalf("%s/%s warm: %v", cell.Name, name, err)
+				}
+			}
+			warmM := metrics.MappingPRF(p.SelectedMapping(prev.Chosen), sc.Gold)
+			warmT := metrics.TuplePRF(sc.I, p.SelectedMapping(prev.Chosen), sc.Gold)
+
+			if math.Abs(prev.Objective.Total()-coldSel.Objective.Total()) > 1e-9 {
+				t.Errorf("%s/%s: streamed objective %v != cold %v",
+					cell.Name, name, prev.Objective.Total(), coldSel.Objective.Total())
+			}
+			// Cross-check the streamed selection against the cold
+			// problem's evidence: same F either way.
+			if got := coldP.Objective(prev.Chosen).Total(); math.Abs(got-prev.Objective.Total()) > 1e-9 {
+				t.Errorf("%s/%s: streamed selection scores %v on cold evidence, %v on streamed",
+					cell.Name, name, got, prev.Objective.Total())
+			}
+			if math.Abs(warmT.F1()-coldT.F1()) > 1e-9 {
+				t.Errorf("%s/%s: streamed tuple F1 %.4f != cold %.4f",
+					cell.Name, name, warmT.F1(), coldT.F1())
+			}
+			sameSelection := reflect.DeepEqual(prev.Chosen, coldSel.Chosen)
+			if sameSelection && math.Abs(warmM.F1()-coldM.F1()) > 1e-9 {
+				t.Errorf("%s/%s: same selection, different mapping F1 %.4f vs %.4f",
+					cell.Name, name, warmM.F1(), coldM.F1())
+			}
+		}
+	}
+}

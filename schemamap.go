@@ -46,6 +46,16 @@
 // it); an expired WithBudget instead yields the best selection found
 // so far, flagged Selection.Truncated. A prepared Problem is safe to
 // share across concurrent Solve calls.
+//
+// For live targets that grow tuple-by-tuple, Problem.AppendTarget
+// applies a delta to the prepared evidence instead of invalidating it,
+// and WithWarmStart(prev) re-solves from the previous selection:
+//
+//	delta, _ := p.AppendTarget(newTuples)
+//	sel, err = solver.Solve(ctx, p, schemamap.WithWarmStart(sel))
+//
+// Mutating a Problem's instances directly after Prepare is detected
+// and rejected (stale evidence); AppendTarget is the supported path.
 package schemamap
 
 import (
@@ -107,12 +117,19 @@ type (
 	// SolveEvent is one progress report from a running solver.
 	SolveEvent = core.Event
 
+	// TargetDelta reports what one Problem.AppendTarget changed.
+	TargetDelta = core.TargetDelta
+
 	// Scenario is a generated benchmark scenario.
 	Scenario = ibench.Scenario
 	// ScenarioConfig controls scenario generation.
 	ScenarioConfig = ibench.Config
 	// Primitive is one iBench mapping primitive.
 	Primitive = ibench.Primitive
+	// StreamConfig controls the streaming split of a scenario target.
+	StreamConfig = ibench.StreamConfig
+	// TargetStream is a scenario target split for streaming ingestion.
+	TargetStream = ibench.TargetStream
 
 	// PRF is a precision/recall/F1 triple.
 	PRF = metrics.PRF
@@ -220,6 +237,18 @@ func WithParallelism(n int) SolveOption { return core.WithParallelism(n) }
 
 // WithSeed seeds randomised tie-breaking on a Solve call.
 func WithSeed(seed int64) SolveOption { return core.WithSeed(seed) }
+
+// WithWarmStart seeds a Solve call from a prior selection — the
+// streaming re-solve path after Problem.AppendTarget. Greedy starts
+// its passes from the prior selection; collective starts ADMM at the
+// prior relaxation.
+func WithWarmStart(prev *Selection) SolveOption { return core.WithWarmStart(prev) }
+
+// SplitTarget deals a scenario's target into an initial instance plus
+// append batches for streaming ingestion (Problem.AppendTarget).
+func SplitTarget(sc *Scenario, cfg StreamConfig) (*TargetStream, error) {
+	return ibench.SplitTarget(sc, cfg)
+}
 
 // GenerateCandidates produces Clio-style candidate tgds from schemas
 // and correspondences.

@@ -33,6 +33,21 @@
 //	-stream-gate X       minimum warm-vs-cold speedup for the greedy
 //	                     row at the largest streamed scale (default 2;
 //	                     0 disables the speedup check)
+//	-serve               also run the serving benchmark: boot the
+//	                     session server (internal/serve) and drive it
+//	                     with concurrent sessions (named-corpus creates
+//	                     sharing prepared problems, plus streaming
+//	                     sessions appending batches with warm
+//	                     re-solves); p50/p99 latency rows are recorded
+//	                     into BENCH_*.json and gated on zero request
+//	                     errors and a warm prepare cache
+//	-serve-sessions N    concurrent sessions per serve scale (default
+//	                     120)
+//	-serve-batches N     append batches per streaming session (default
+//	                     4)
+//	-serve-corpus S|M|L  extra scales driven at N/4 sessions and
+//	                     recorded without gating (default L; "none"
+//	                     disables)
 //	-quality             also run the quality scenario matrix
 //	                     (internal/quality) and write QUALITY_*.json
 //	                     next to the bench reports
@@ -43,8 +58,11 @@
 //	-cpuprofile FILE     write a pprof CPU profile of the run
 //	-memprofile FILE     write a pprof heap profile at exit
 //
-// Exit codes: 0 ok, 1 usage/run error, 2 perf gate or comparison
-// failure.
+// SIGINT/SIGTERM cancel the run cleanly (partial work is abandoned,
+// nothing is written) with a non-zero exit.
+//
+// Exit codes: 0 ok, 1 usage/run/interrupt error, 2 perf gate or
+// comparison failure.
 package main
 
 import (
@@ -52,9 +70,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"schemamap/internal/bench"
@@ -83,6 +103,10 @@ func run() int {
 		runStream       = flag.Bool("stream", false, "also run the streaming benchmark (batched AppendTarget + warm-start re-solve vs cold Prepare+Solve) on the selected scales")
 		streamBatches   = flag.Int("stream-batches", 8, "append batches per streaming run")
 		streamGate      = flag.Float64("stream-gate", 2, "minimum warm-vs-cold speedup for the greedy row at the largest streamed scale (0 disables; evidence/objective equality is always gated)")
+		runServe        = flag.Bool("serve", false, "also run the serving benchmark: concurrent sessions against the session server, p50/p99 rows recorded and gated")
+		serveSessions   = flag.Int("serve-sessions", 120, "concurrent sessions per serve scale")
+		serveBatches    = flag.Int("serve-batches", 4, "append batches per streaming serve session")
+		serveCorpus     = flag.String("serve-corpus", "L", "extra serve scales driven at a quarter of the sessions, recorded without gating (comma list; none disables)")
 		runQuality      = flag.Bool("quality", false, "also run the quality scenario matrix and write QUALITY_*.json to -out")
 		qualityBaseline = flag.String("quality-baseline", "", "F1 baseline for the -quality run (gated, or refreshed with -update-baseline)")
 		qualityTol      = flag.Float64("quality-tolerance", 0.01, "allowed absolute F1 drop vs -quality-baseline (0 = exact)")
@@ -129,7 +153,11 @@ func run() int {
 		solvers = strings.Split(*solversFlag, ",")
 	}
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the run; solvers notice at their iteration
+	// checkpoints and the harness returns the cancellation.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	exitStream := 0
 	var streamRows []bench.StreamResult
 	if *runStream {
@@ -159,6 +187,47 @@ func run() int {
 		}
 	}
 
+	exitServe := 0
+	var serveRows []bench.ServeResult
+	if *runServe {
+		sscales := scales
+		if len(sscales) == 0 {
+			all := bench.Scales()
+			sscales = all[:1] // S
+		}
+		var corpus []bench.Spec
+		if !strings.EqualFold(*serveCorpus, "none") {
+			var err error
+			corpus, err = parseScales(*serveCorpus)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
+		fmt.Printf("benchrun: serving scales=%s corpus=%s sessions=%d batches=%d\n",
+			scaleNames(sscales), scaleNames(corpus), *serveSessions, *serveBatches)
+		var err error
+		serveRows, err = bench.RunServe(ctx, bench.ServeOptions{
+			Scales:       sscales,
+			CorpusScales: corpus,
+			Sessions:     *serveSessions,
+			Batches:      *serveBatches,
+			Parallelism:  *parallelism,
+			Budget:       *budget,
+			Progress:     func(line string) { fmt.Println(line) },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+		if err := bench.CheckServe(serveRows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitServe = 2
+		} else {
+			fmt.Println("serve gate ok: zero request errors, prepare cache warm")
+		}
+	}
+
 	var reports []*bench.Report
 	if len(scales) > 0 {
 		opt := bench.Options{
@@ -175,11 +244,17 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "benchrun:", err)
 			return 1
 		}
-		// Record the streaming rows alongside each solver's results.
+		// Record the streaming and serving rows alongside each solver's
+		// results.
 		for _, r := range reports {
 			for _, row := range streamRows {
 				if row.Solver == r.Solver {
 					r.Streaming = append(r.Streaming, row)
+				}
+			}
+			for _, row := range serveRows {
+				if row.Solver == r.Solver {
+					r.Serve = append(r.Serve, row)
 				}
 			}
 		}
@@ -194,6 +269,9 @@ func run() int {
 	}
 
 	exit := exitStream
+	if exitServe > exit {
+		exit = exitServe
+	}
 	if *baselinePath != "" && len(scales) > 0 {
 		if *updateBaseline {
 			scale := scales[0].Name

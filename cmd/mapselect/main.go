@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"schemamap/internal/core"
@@ -69,8 +70,10 @@ func main() {
 		fatal(err)
 	}
 
-	// Ctrl-C cancels the solve; -timeout is a hard deadline on top.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C or SIGTERM cancels the solve (the solver returns the
+	// cancellation at its next checkpoint and mapselect exits non-zero);
+	// -timeout is a hard deadline on top.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

@@ -1,0 +1,165 @@
+// Command mapserve runs the mapping-selection session server
+// (internal/serve) over HTTP:
+//
+//	POST   /sessions              create (named or uploaded scenario)
+//	GET    /sessions/{id}         session status
+//	DELETE /sessions/{id}         delete
+//	POST   /sessions/{id}/append  append target tuples (delta-Prepare)
+//	POST   /sessions/{id}/solve   solve with any registered solver
+//	GET    /metrics               Prometheus text exposition
+//	GET    /healthz               200 ok / 503 draining
+//
+// The named corpus exposes the bench scales ("S", "M", "L"), generated
+// lazily on first use; clients can also upload scenariogen JSON.
+//
+// SIGTERM/SIGINT triggers a graceful drain: new API requests get 503
+// (so load balancers fail over) while in-flight solves run to
+// completion, then the listener shuts down and the process exits 0. A
+// second signal aborts immediately with a non-zero exit.
+//
+// Usage:
+//
+//	mapserve [-addr :8080] [-max-sessions 256] [-max-problems 64]
+//	         [-idle-timeout 15m] [-workers N] [-parallelism N]
+//	         [-solver greedy] [-max-budget 30s] [-drain-timeout 60s]
+//	         [-debug-solvers]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"schemamap/internal/bench"
+	"schemamap/internal/core"
+	"schemamap/internal/ibench"
+	"schemamap/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxSessions  = flag.Int("max-sessions", 256, "live session cap (LRU eviction beyond it)")
+		maxProblems  = flag.Int("max-problems", 64, "prepared-problem cache cap")
+		idleTimeout  = flag.Duration("idle-timeout", 15*time.Minute, "evict sessions idle this long (negative disables)")
+		workers      = flag.Int("workers", 0, "concurrent solve bound (0 = GOMAXPROCS)")
+		parallelism  = flag.Int("parallelism", 0, "prepare/solve parallelism bound (0 = GOMAXPROCS)")
+		solver       = flag.String("solver", "greedy", "default solver for solve requests naming none")
+		maxBudget    = flag.Duration("max-budget", 30*time.Second, "cap on per-request solve budgets")
+		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "max wait for in-flight requests on shutdown")
+		debugSolvers = flag.Bool("debug-solvers", false, "register debug solvers (sleep: holds a worker slot for its budget) — for smoke tests")
+	)
+	flag.Parse()
+
+	if *debugSolvers {
+		core.Register("sleep", func() core.Solver { return sleepSolver{} })
+	}
+	srv := serve.NewServer(serve.Config{
+		MaxSessions:   *maxSessions,
+		MaxProblems:   *maxProblems,
+		IdleTimeout:   *idleTimeout,
+		Workers:       *workers,
+		Parallelism:   *parallelism,
+		DefaultSolver: *solver,
+		MaxBudget:     *maxBudget,
+		Scenarios:     benchCorpus(),
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "mapserve: listening on %s (solvers: %v; corpus: S, M, L)\n", *addr, core.Names())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "mapserve:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: reject new API requests, let admitted ones finish,
+	// then close the listener. A second signal aborts.
+	stop() // restore default signal behaviour so a second signal kills us
+	fmt.Fprintln(os.Stderr, "mapserve: draining (in-flight requests run to completion)")
+	if err := srv.Drain(*drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "mapserve:", err)
+		_ = httpSrv.Close()
+		return 1
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "mapserve:", err)
+		return 1
+	}
+	<-errc // ListenAndServe has returned ErrServerClosed
+	fmt.Fprintln(os.Stderr, "mapserve: drained, bye")
+	return 0
+}
+
+// benchCorpus exposes the bench scales as the named scenario corpus,
+// each generated once on first use (the serve cache keys include the
+// session weights, so the same name can be requested under several
+// keys — memoise the generation).
+func benchCorpus() map[string]serve.ScenarioSource {
+	corpus := make(map[string]serve.ScenarioSource)
+	for _, spec := range bench.Scales() {
+		spec := spec
+		var once sync.Once
+		var sc *ibench.Scenario
+		var err error
+		corpus[spec.Name] = func() (*ibench.Scenario, error) {
+			once.Do(func() { sc, err = ibench.Generate(spec.Config()) })
+			return sc, err
+		}
+	}
+	return corpus
+}
+
+// sleepSolver holds a solve worker slot for its soft budget (default
+// 1s) and returns an empty truncated selection. It exists so smoke
+// tests can place a long-running solve in flight deterministically —
+// e.g. to verify graceful drain — without burning CPU.
+type sleepSolver struct{}
+
+func (sleepSolver) Name() string { return "sleep" }
+
+func (sleepSolver) Solve(ctx context.Context, p *core.Problem, opts ...core.SolveOption) (*core.Selection, error) {
+	var cfg core.SolveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d := cfg.Budget
+	if d <= 0 {
+		d = time.Second
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.C:
+	}
+	chosen := make([]bool, p.NumCandidates())
+	return &core.Selection{
+		Chosen:    chosen,
+		Objective: p.Objective(chosen),
+		Solver:    "sleep",
+		Truncated: true,
+		Runtime:   d,
+	}, nil
+}

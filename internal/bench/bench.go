@@ -111,6 +111,9 @@ type Report struct {
 	// Streaming holds the solver's incremental-ingestion rows when the
 	// run included the streaming benchmark (benchrun -stream).
 	Streaming []StreamResult `json:"streaming,omitempty"`
+	// Serve holds the solver's serving-load rows when the run included
+	// the session-server benchmark (benchrun -serve).
+	Serve []ServeResult `json:"serve,omitempty"`
 }
 
 // Options configure a harness run.

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// A small end-to-end run of the serving benchmark: concurrent named
+// and streaming sessions against a real server, gated rows clean.
+func TestRunServeSmoke(t *testing.T) {
+	spec, err := SpecFor("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunServe(context.Background(), ServeOptions{
+		Scales:   []Spec{spec},
+		Sessions: 24,
+		Variants: 2,
+		Batches:  2,
+		Solvers:  []string{"greedy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Sessions != 24 || r.Errors != 0 || r.Streamers == 0 {
+		t.Fatalf("row %+v", r)
+	}
+	// 24 sessions over 2 variants (split into named and uploaded
+	// streams) must share prepares.
+	if r.CacheHitRatio <= 0 {
+		t.Fatalf("cache never hit: %+v", r)
+	}
+	if r.Solves < r.Sessions {
+		t.Fatalf("solves %d < sessions %d", r.Solves, r.Sessions)
+	}
+	if r.P50SolveMillis <= 0 || r.P99SolveMillis < r.P50SolveMillis {
+		t.Fatalf("bad solve quantiles: %+v", r)
+	}
+	if err := CheckServe(rows); err != nil {
+		t.Fatal(err)
+	}
+}

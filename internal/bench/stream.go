@@ -207,18 +207,19 @@ func runStreamOne(ctx context.Context, spec Spec, sc *ibench.Scenario, stream *i
 	row.ColdObjective = coldSel.Objective.Total()
 	diff := row.WarmObjective - row.ColdObjective
 	row.ObjectivesMatch = diff < 1e-9 && diff > -1e-9
-	row.EvidenceIdentical = evidenceIdentical(p, cold)
+	row.EvidenceIdentical = EvidenceIdentical(p, cold)
 	if perUpdate := row.AvgAppendMillis + row.AvgWarmSolveMillis; perUpdate > 0 {
 		row.Speedup = (row.ColdPrepareMillis + row.ColdSolveMillis) / perUpdate
 	}
 	return row, nil
 }
 
-// evidenceIdentical compares an incrementally grown problem's
+// EvidenceIdentical compares an incrementally grown problem's
 // evidence against a cold problem over the same target tuples, up to
 // the tuple-id permutation induced by arrival order; coverage and
-// error values must be bitwise equal.
-func evidenceIdentical(p, cold *core.Problem) bool {
+// error values must be bitwise equal. The streaming benchmark and the
+// concurrency stress tests both gate on it.
+func EvidenceIdentical(p, cold *core.Problem) bool {
 	got, want := p.Analyses(), cold.Analyses()
 	if len(got) != len(want) {
 		return false

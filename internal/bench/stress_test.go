@@ -1,0 +1,108 @@
+package bench
+
+// Concurrency stress for the cached-Problem serving pattern: many
+// goroutines hammer one prepared Problem with solves and objective
+// evaluations under RLock while a writer appends target batches under
+// Lock — the same discipline internal/serve's sessions use. The final
+// evidence must be identical to a cold Prepare of the full target.
+// Run with -race in CI.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"schemamap/internal/core"
+	"schemamap/internal/ibench"
+)
+
+func TestStressConcurrentSolveAppendObjective(t *testing.T) {
+	spec, err := SpecFor("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ibench.Generate(spec.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := ibench.SplitTarget(sc, ibench.StreamConfig{Batches: 8, Seed: spec.Seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := core.NewProblem(sc.I, stream.Initial.Clone(), sc.Candidates)
+	p.PrepareStreaming(0)
+	solver, err := core.Get("greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	allOn := make([]bool, p.NumCandidates())
+	for i := range allOn {
+		allOn[i] = true
+	}
+
+	// The serve-session discipline: appends take the write lock, solves
+	// and objective reads the read lock.
+	var mu sync.RWMutex
+	done := make(chan struct{})
+	errs := make(chan error, 64)
+
+	const readers = 8
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				mu.RLock()
+				if r%2 == 0 {
+					if _, err := solver.Solve(ctx, p); err != nil {
+						errs <- err
+					}
+				} else {
+					p.Objective(allOn)
+				}
+				mu.RUnlock()
+			}
+		}(r)
+	}
+	for _, batch := range stream.Batches {
+		mu.Lock()
+		_, err := p.AppendTarget(batch)
+		mu.Unlock()
+		if err != nil {
+			t.Fatalf("AppendTarget under load: %v", err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("solve under load: %v", err)
+	}
+
+	// The hammered problem must end bit-identical to a cold Prepare of
+	// the full target.
+	cold := core.NewProblem(sc.I, sc.J.Clone(), sc.Candidates)
+	cold.PrepareN(0)
+	if !EvidenceIdentical(p, cold) {
+		t.Fatal("evidence after concurrent append/solve differs from a cold Prepare")
+	}
+	hot, err := solver.Solve(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := solver.Solve(ctx, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Objective.Total() != ref.Objective.Total() {
+		t.Fatalf("objective after stress %g != cold %g", hot.Objective.Total(), ref.Objective.Total())
+	}
+}

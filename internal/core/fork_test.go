@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"schemamap/internal/data"
+)
+
+// Fork must give a session-private problem: appends to the fork leave
+// the original's target and evidence untouched, and both sides reach
+// the evidence a cold Prepare over their respective targets would.
+func TestForkIsolatesAppends(t *testing.T) {
+	p := appendixProblem()
+	p.PrepareStreaming(1)
+	origLen := p.J.Len()
+	origObj := p.Objective(allOn(p.NumCandidates())).Total()
+
+	f := p.Fork()
+	if f.J == p.J {
+		t.Fatal("fork shares the target instance")
+	}
+	if f.I != p.I {
+		t.Fatal("fork should share the immutable source instance")
+	}
+	if !f.J.Equal(p.J) {
+		t.Fatal("forked target differs from the original before any append")
+	}
+
+	extra := data.NewTuple("task", "p9", "e9", "o9")
+	if _, err := f.AppendTarget([]data.Tuple{extra}); err != nil {
+		t.Fatalf("AppendTarget on fork: %v", err)
+	}
+	if p.J.Len() != origLen {
+		t.Fatalf("append to fork grew the original target: %d -> %d", origLen, p.J.Len())
+	}
+	if err := p.CheckFresh(); err != nil {
+		t.Fatalf("original went stale after fork append: %v", err)
+	}
+	if got := p.Objective(allOn(p.NumCandidates())).Total(); got != origObj {
+		t.Fatalf("original objective changed after fork append: %g -> %g", origObj, got)
+	}
+
+	// The fork's incremental evidence must match a cold problem over
+	// the grown target.
+	cold := NewProblem(p.I, f.J.Clone(), p.Candidates)
+	cold.Prepare()
+	sel := allOn(f.NumCandidates())
+	if got, want := f.Objective(sel).Total(), cold.Objective(sel).Total(); got != want {
+		t.Fatalf("fork objective %g != cold objective %g", got, want)
+	}
+
+	// Both remain solvable.
+	for _, prob := range []*Problem{p, f} {
+		if _, err := (GreedySolver{}).Solve(context.Background(), prob); err != nil {
+			t.Fatalf("solve after fork: %v", err)
+		}
+	}
+}
+
+func allOn(n int) []bool {
+	sel := make([]bool, n)
+	for i := range sel {
+		sel[i] = true
+	}
+	return sel
+}

@@ -186,6 +186,29 @@ func (p *Problem) AppendTarget(tuples []data.Tuple) (*TargetDelta, error) {
 	return delta, nil
 }
 
+// Fork returns an independent copy of the problem for private
+// mutation: it shares the immutable source instance and candidate set
+// but clones the target, so AppendTarget on the fork never affects the
+// original. This is the copy-on-append path of serving workloads: many
+// sessions share one prepared Problem for solves, and a session that
+// starts appending forks its own. The fork is unprepared — prepare it
+// with PrepareStreaming (or let the first solve/append do it).
+//
+// Fork is safe to call concurrently with Solve/Objective on the
+// original (those only read), and serialises against AppendTarget so
+// the target is never cloned mid-append.
+func (p *Problem) Fork() *Problem {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return &Problem{
+		I:            p.I,
+		J:            p.J.Clone(),
+		Candidates:   p.Candidates,
+		Weights:      p.Weights,
+		CoverOptions: p.CoverOptions,
+	}
+}
+
 // CheckFresh reports whether the prepared evidence still reflects the
 // problem's instances; it returns a descriptive error when I or J was
 // mutated directly after Prepare (the stale-evidence hazard). Appends

@@ -59,14 +59,18 @@ type jsonNoise struct {
 	AddedUnexplained int `json:"addedUnexplained"`
 }
 
-func encodeValue(v data.Value) string {
+// EncodeValue renders a value in the scenario wire encoding ("c:"
+// constant, "n:" labelled null). internal/serve reuses it for target
+// tuples travelling over the session API.
+func EncodeValue(v data.Value) string {
 	if v.IsNull() {
 		return "n:" + v.Name()
 	}
 	return "c:" + v.Name()
 }
 
-func decodeValue(s string) (data.Value, error) {
+// DecodeValue parses the EncodeValue wire form.
+func DecodeValue(s string) (data.Value, error) {
 	switch {
 	case strings.HasPrefix(s, "c:"):
 		return data.Const(s[2:]), nil
@@ -110,7 +114,7 @@ func encodeInstance(in *data.Instance) map[string][][]string {
 		for _, t := range in.Tuples(rel) {
 			row := make([]string, len(t.Args))
 			for i, v := range t.Args {
-				row[i] = encodeValue(v)
+				row[i] = EncodeValue(v)
 			}
 			out[rel] = append(out[rel], row)
 		}
@@ -124,7 +128,7 @@ func decodeInstance(m map[string][][]string) (*data.Instance, error) {
 		for _, row := range rows {
 			args := make([]data.Value, len(row))
 			for i, s := range row {
-				v, err := decodeValue(s)
+				v, err := DecodeValue(s)
 				if err != nil {
 					return nil, err
 				}

@@ -111,15 +111,15 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 
 func TestValueEncoding(t *testing.T) {
 	for _, s := range []string{"c:abc", "n:N1", "c:", "c:with:colons"} {
-		v, err := decodeValue(s)
+		v, err := DecodeValue(s)
 		if err != nil {
 			t.Fatalf("decode %q: %v", s, err)
 		}
-		if encodeValue(v) != s {
-			t.Errorf("round trip %q -> %q", s, encodeValue(v))
+		if EncodeValue(v) != s {
+			t.Errorf("round trip %q -> %q", s, EncodeValue(v))
 		}
 	}
-	if _, err := decodeValue("garbage"); err == nil {
+	if _, err := DecodeValue("garbage"); err == nil {
 		t.Error("bad prefix accepted")
 	}
 }

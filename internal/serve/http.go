@@ -1,0 +1,467 @@
+package serve
+
+// HTTP+JSON wiring of the session lifecycle:
+//
+//	POST   /sessions              create (named or uploaded scenario)
+//	GET    /sessions/{id}         session status
+//	DELETE /sessions/{id}         delete
+//	POST   /sessions/{id}/append  append target tuples (delta-Prepare)
+//	POST   /sessions/{id}/solve   solve with any registered solver
+//	GET    /metrics               Prometheus text exposition
+//	GET    /healthz               200 ok / 503 draining
+//
+// While draining, every endpoint except /metrics answers 503 so load
+// balancers stop routing here; admitted requests run to completion.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"schemamap/internal/core"
+	"schemamap/internal/data"
+	"schemamap/internal/ibench"
+)
+
+// Wire types.
+
+type createRequest struct {
+	// Name selects a scenario from the server's named corpus …
+	Name string `json:"name,omitempty"`
+	// … or Scenario uploads one in the scenariogen JSON format.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+	// Weights override the Eq. (9) weights (nil = 1,1,1).
+	Weights *wireWeights `json:"weights,omitempty"`
+}
+
+type wireWeights struct {
+	Explain float64 `json:"explain"`
+	Error   float64 `json:"error"`
+	Size    float64 `json:"size"`
+}
+
+type createResponse struct {
+	ID            string  `json:"id"`
+	ScenarioKey   string  `json:"scenarioKey"`
+	SharedPrepare bool    `json:"sharedPrepare"`
+	Candidates    int     `json:"candidates"`
+	JTuples       int     `json:"jTuples"`
+	CreateMillis  float64 `json:"createMillis"`
+}
+
+type wireTuple struct {
+	Rel string `json:"rel"`
+	// Args use the scenario value encoding: "c:<constant>" or
+	// "n:<labelled null>".
+	Args []string `json:"args"`
+}
+
+type appendRequest struct {
+	Tuples []wireTuple `json:"tuples"`
+}
+
+type appendResponse struct {
+	Added         int     `json:"added"`
+	JTuples       int     `json:"jTuples"`
+	Forked        bool    `json:"forked"`
+	ChangedTuples int     `json:"changedTuples"`
+	PairsChanged  int     `json:"pairsChanged"`
+	AppendMillis  float64 `json:"appendMillis"`
+}
+
+type solveRequest struct {
+	Solver        string `json:"solver,omitempty"`
+	BudgetMillis  int64  `json:"budgetMillis,omitempty"`
+	TimeoutMillis int64  `json:"timeoutMillis,omitempty"`
+	Parallelism   int    `json:"parallelism,omitempty"`
+	Seed          int64  `json:"seed,omitempty"`
+	// Warm re-solves from the session's last selection.
+	Warm bool `json:"warm,omitempty"`
+}
+
+type wireObjective struct {
+	Total       float64 `json:"total"`
+	Unexplained float64 `json:"unexplained"`
+	Errors      float64 `json:"errors"`
+	Size        float64 `json:"size"`
+}
+
+type solveResponse struct {
+	Solver      string        `json:"solver"`
+	Selected    []int         `json:"selected"`
+	Count       int           `json:"count"`
+	Candidates  int           `json:"candidates"`
+	Tgds        []string      `json:"tgds"`
+	Objective   wireObjective `json:"objective"`
+	Iterations  int           `json:"iterations"`
+	Truncated   bool          `json:"truncated"`
+	Warm        bool          `json:"warm"`
+	SolveMillis float64       `json:"solveMillis"`
+}
+
+type statusResponse struct {
+	ID             string   `json:"id"`
+	ScenarioKey    string   `json:"scenarioKey"`
+	SharedPrepare  bool     `json:"sharedPrepare"`
+	Candidates     int      `json:"candidates"`
+	JTuples        int      `json:"jTuples"`
+	Solves         int64    `json:"solves"`
+	Appends        int64    `json:"appends"`
+	AppendedTuples int64    `json:"appendedTuples"`
+	LastObjective  *float64 `json:"lastObjective,omitempty"`
+	CreatedAt      string   `json:"createdAt"`
+	LastUsedAt     string   `json:"lastUsedAt"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("POST /sessions", s.api(s.handleCreate))
+	mux.Handle("GET /sessions/{id}", s.api(s.handleStatus))
+	mux.Handle("DELETE /sessions/{id}", s.api(s.handleDelete))
+	mux.Handle("POST /sessions/{id}/append", s.api(s.handleAppend))
+	mux.Handle("POST /sessions/{id}/solve", s.api(s.handleSolve))
+	return mux
+}
+
+// api wraps an endpoint with drain admission and in-flight accounting.
+func (s *Server) api(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.admit() {
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+			return
+		}
+		defer s.release()
+		h(w, r)
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteText(w)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	weights := core.DefaultWeights()
+	if req.Weights != nil {
+		weights = core.Weights{Explain: req.Weights.Explain, Error: req.Weights.Error, Size: req.Weights.Size}
+	}
+	var key string
+	var load func() (*ibench.Scenario, error)
+	switch {
+	case req.Name != "" && len(req.Scenario) > 0:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("give either name or scenario, not both"))
+		return
+	case req.Name != "":
+		src, ok := s.cfg.Scenarios[req.Name]
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown scenario %q", req.Name))
+			return
+		}
+		key = fmt.Sprintf("name:%s/w=%g,%g,%g", req.Name, weights.Explain, weights.Error, weights.Size)
+		load = src
+	case len(req.Scenario) > 0:
+		sc, err := ibench.UnmarshalScenario(req.Scenario)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		key, err = scenarioKey(sc, weights)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		load = func() (*ibench.Scenario, error) { return sc, nil }
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing scenario: give name or scenario"))
+		return
+	}
+	start := time.Now()
+	sess, _, err := s.createSession(key, load, weights)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	sess.mu.RLock()
+	resp := createResponse{
+		ID:            sess.id,
+		ScenarioKey:   sess.key,
+		SharedPrepare: sess.shared,
+		Candidates:    sess.p.NumCandidates(),
+		JTuples:       sess.p.JIndex().Len(),
+		CreateMillis:  float64(time.Since(start).Nanoseconds()) / 1e6,
+	}
+	sess.mu.RUnlock()
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such session"))
+		return
+	}
+	sess.mu.RLock()
+	resp := statusResponse{
+		ID:             sess.id,
+		ScenarioKey:    sess.key,
+		SharedPrepare:  sess.shared,
+		Candidates:     sess.p.NumCandidates(),
+		JTuples:        sess.p.JIndex().Len(),
+		Solves:         sess.solves.Load(),
+		Appends:        sess.appends.Load(),
+		AppendedTuples: sess.appended.Load(),
+		CreatedAt:      sess.created.UTC().Format(time.RFC3339Nano),
+		LastUsedAt:     sess.lastUsed.UTC().Format(time.RFC3339Nano),
+	}
+	sess.mu.RUnlock()
+	sess.lastMu.Lock()
+	if sess.solved {
+		f := sess.lastF
+		resp.LastObjective = &f
+	}
+	sess.lastMu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.drop(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such session"))
+		return
+	}
+	s.m.sessionsDeleted.Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such session"))
+		return
+	}
+	var req appendRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Tuples) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty tuple batch"))
+		return
+	}
+	tuples := make([]data.Tuple, 0, len(req.Tuples))
+	for _, wt := range req.Tuples {
+		if wt.Rel == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("tuple without relation"))
+			return
+		}
+		args := make([]data.Value, len(wt.Args))
+		for i, a := range wt.Args {
+			v, err := ibench.DecodeValue(a)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			args[i] = v
+		}
+		tuples = append(tuples, data.Tuple{Rel: wt.Rel, Args: args})
+	}
+
+	start := time.Now()
+	sess.mu.Lock()
+	forked := false
+	if sess.shared {
+		s.fork(sess)
+		forked = true
+	}
+	delta, err := sess.p.AppendTarget(tuples)
+	jTuples := sess.p.JIndex().Len()
+	sess.mu.Unlock()
+	elapsed := time.Since(start)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	added := delta.NewTuples - delta.OldTuples
+	sess.appends.Add(1)
+	sess.appended.Add(int64(added))
+	s.m.appendSeconds.Observe(elapsed.Seconds())
+	s.m.appendedTuples.Add(float64(added))
+	writeJSON(w, http.StatusOK, appendResponse{
+		Added:         added,
+		JTuples:       jTuples,
+		Forked:        forked,
+		ChangedTuples: len(delta.ChangedTuples),
+		PairsChanged:  len(delta.PairsChanged),
+		AppendMillis:  float64(elapsed.Nanoseconds()) / 1e6,
+	})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such session"))
+		return
+	}
+	req := solveRequest{Solver: s.cfg.DefaultSolver}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Solver == "" {
+		req.Solver = s.cfg.DefaultSolver
+	}
+	solver, err := core.Get(req.Solver)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// The worker pool bounds solve concurrency across sessions; queue
+	// on it, but give up when the client goes away.
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	case <-r.Context().Done():
+		writeError(w, http.StatusRequestTimeout, r.Context().Err())
+		return
+	}
+
+	budget := time.Duration(req.BudgetMillis) * time.Millisecond
+	if budget <= 0 || budget > s.cfg.MaxBudget {
+		budget = s.cfg.MaxBudget
+	}
+	opts := []core.SolveOption{
+		core.WithParallelism(s.resolveParallelism(req.Parallelism)),
+		core.WithBudget(budget),
+	}
+	if req.Seed != 0 {
+		opts = append(opts, core.WithSeed(req.Seed))
+	}
+	warm := false
+	if req.Warm {
+		sess.lastMu.Lock()
+		if sess.last != nil {
+			opts = append(opts, core.WithWarmStart(sess.last))
+			warm = true
+		}
+		sess.lastMu.Unlock()
+	}
+	ctx := r.Context()
+	if req.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+
+	start := time.Now()
+	sess.mu.RLock()
+	sel, err := solver.Solve(ctx, sess.p, opts...)
+	tgds := []string{}
+	if err == nil {
+		for _, d := range sess.p.SelectedMapping(sel.Chosen) {
+			tgds = append(tgds, d.String())
+		}
+	}
+	sess.mu.RUnlock()
+	elapsed := time.Since(start)
+	if err != nil {
+		s.m.solveErrors.Inc()
+		status := http.StatusInternalServerError
+		if ctx.Err() != nil {
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, err)
+		return
+	}
+	sess.solves.Add(1)
+	sess.lastMu.Lock()
+	sess.last = sel
+	sess.lastF = sel.Objective.Total()
+	sess.solved = true
+	sess.lastMu.Unlock()
+	s.reg.HistogramWith("serve_solve_seconds", "Solve latency per solver.", "solver", req.Solver, nil).
+		Observe(elapsed.Seconds())
+	s.reg.CounterWith("serve_solves_total", "Solves per solver.", "solver", req.Solver).Inc()
+	s.reg.CounterWith("serve_solve_objective_sum", "Sum of solve objectives per solver (divide by serve_solves_total for the mean).", "solver", req.Solver).
+		Add(sel.Objective.Total())
+
+	writeJSON(w, http.StatusOK, solveResponse{
+		Solver:     req.Solver,
+		Selected:   sel.Indices(),
+		Count:      sel.Count(),
+		Candidates: len(sel.Chosen),
+		Tgds:       tgds,
+		Objective: wireObjective{
+			Total:       sel.Objective.Total(),
+			Unexplained: sel.Objective.Unexplained,
+			Errors:      sel.Objective.Errors,
+			Size:        sel.Objective.Size,
+		},
+		Iterations:  sel.Iterations,
+		Truncated:   sel.Truncated,
+		Warm:        warm,
+		SolveMillis: float64(elapsed.Nanoseconds()) / 1e6,
+	})
+}
+
+// resolveParallelism caps a per-request parallelism by the server's.
+func (s *Server) resolveParallelism(req int) int {
+	if req <= 0 {
+		return s.cfg.Parallelism
+	}
+	if s.cfg.Parallelism > 0 && req > s.cfg.Parallelism {
+		return s.cfg.Parallelism
+	}
+	return req
+}
+
+// decodeBody decodes a JSON body, tolerating an empty one (all
+// defaults) and rejecting trailing garbage.
+func decodeBody(r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil // empty body: all defaults
+		}
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err == nil {
+		return fmt.Errorf("bad request body: trailing content")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# End-to-end smoke of cmd/mapserve: boot the server, run a full session
+# round trip (create from an uploaded scenario → append → solve →
+# status → delete), assert the Prometheus counters moved, then verify
+# graceful drain — a solve in flight when SIGTERM lands must complete
+# with 200 while new requests get 503, and the process must exit 0.
+#
+# Requirements: go, curl, jq. Usage: scripts/serve_smoke.sh [port]
+set -euo pipefail
+
+PORT="${1:-8091}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "== build"
+go build -o "$TMP/mapserve" ./cmd/mapserve
+
+echo "== boot"
+"$TMP/mapserve" -addr "127.0.0.1:$PORT" -debug-solvers -max-budget 10s \
+  2>"$TMP/server.log" &
+SERVER_PID=$!
+for i in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$TMP/server.log" >&2; fail "server died on boot"; }
+  sleep 0.2
+done
+curl -fsS "$BASE/healthz" | jq -e '.status == "ok"' >/dev/null || fail "healthz not ok"
+
+echo "== create (uploaded scenario)"
+go run ./cmd/scenariogen -n 5 -seed 42 \
+  -picorresp 20 -pierrors 10 -piunexplained 10 -o "$TMP/sc.json"
+jq '{scenario: .}' "$TMP/sc.json" >"$TMP/create.json"
+CREATE=$(curl -fsS -X POST "$BASE/sessions" --data-binary @"$TMP/create.json")
+ID=$(echo "$CREATE" | jq -r .id)
+[ -n "$ID" ] && [ "$ID" != null ] || fail "create returned no session id: $CREATE"
+echo "   session $ID ($(echo "$CREATE" | jq -r .candidates) candidates)"
+
+# A second create of the same content must hit the prepared-problem
+# cache (sharedPrepare on a fresh session of an already-seen scenario).
+CREATE2=$(curl -fsS -X POST "$BASE/sessions" --data-binary @"$TMP/create.json")
+[ "$(echo "$CREATE" | jq -r .scenarioKey)" = "$(echo "$CREATE2" | jq -r .scenarioKey)" ] \
+  || fail "equal uploads produced different scenario keys"
+
+echo "== append (fresh tuple for an existing target relation)"
+REL=$(jq -r '.j | keys[0]' "$TMP/sc.json")
+ARITY=$(jq -r --arg rel "$REL" '.j[$rel][0] | length' "$TMP/sc.json")
+jq -n --arg rel "$REL" --argjson n "$ARITY" \
+  '{tuples: [{rel: $rel, args: [range($n) | "c:smoke\(.)"]}]}' >"$TMP/append.json"
+APPEND=$(curl -fsS -X POST "$BASE/sessions/$ID/append" --data-binary @"$TMP/append.json")
+echo "$APPEND" | jq -e '.added == 1 and .forked == true' >/dev/null \
+  || fail "append did not add+fork: $APPEND"
+
+echo "== solve (greedy, warm off then on)"
+SOLVE=$(curl -fsS -X POST "$BASE/sessions/$ID/solve" -d '{"solver":"greedy"}')
+echo "$SOLVE" | jq -e '.solver == "greedy" and (.objective.total | type == "number")' >/dev/null \
+  || fail "solve response malformed: $SOLVE"
+WARM=$(curl -fsS -X POST "$BASE/sessions/$ID/solve" -d '{"solver":"greedy","warm":true}')
+echo "$WARM" | jq -e '.warm == true' >/dev/null || fail "warm solve did not warm-start: $WARM"
+[ "$(echo "$SOLVE" | jq .objective.total)" = "$(echo "$WARM" | jq .objective.total)" ] \
+  || fail "warm objective diverged on an unchanged target"
+
+echo "== status + metrics"
+curl -fsS "$BASE/sessions/$ID" | jq -e '.solves == 2 and .appends == 1' >/dev/null \
+  || fail "status counters wrong"
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -q '^serve_sessions_created_total 2$' || fail "sessions_created counter did not move"
+echo "$METRICS" | grep -q '^serve_prepare_cache_hits_total 1$' || fail "cache hit counter did not move"
+echo "$METRICS" | grep -q 'serve_solves_total{solver="greedy"} 2' || fail "per-solver solve counter did not move"
+echo "$METRICS" | grep -q '^serve_appended_tuples_total 1$' || fail "appended tuples counter did not move"
+echo "$METRICS" | grep -q '^serve_session_forks_total 1$' || fail "fork counter did not move"
+
+echo "== delete"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "$BASE/sessions/$ID")
+[ "$CODE" = 204 ] || fail "delete returned $CODE"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/sessions/$ID")
+[ "$CODE" = 404 ] || fail "deleted session still answers ($CODE)"
+
+echo "== graceful drain"
+# Put a 3s sleep-solver solve in flight, SIGTERM the server mid-solve:
+# the in-flight solve must complete 200/truncated, new requests 503,
+# and the exit code must be 0.
+ID2=$(echo "$CREATE2" | jq -r .id)
+curl -s -o "$TMP/inflight.json" -w '%{http_code}' -X POST "$BASE/sessions/$ID2/solve" \
+  -d '{"solver":"sleep","budgetMillis":3000}' >"$TMP/inflight.code" &
+CURL_PID=$!
+sleep 0.7
+kill -TERM "$SERVER_PID"
+sleep 0.3
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/healthz")
+[ "$CODE" = 503 ] || fail "healthz while draining returned $CODE (want 503)"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/sessions" --data-binary @"$TMP/create.json")
+[ "$CODE" = 503 ] || fail "create while draining returned $CODE (want 503)"
+wait "$CURL_PID"
+CODE=$(cat "$TMP/inflight.code")
+[ "$CODE" = 200 ] || fail "in-flight solve finished with $CODE (want 200): $(cat "$TMP/inflight.json")"
+jq -e '.truncated == true and .solver == "sleep"' "$TMP/inflight.json" >/dev/null \
+  || fail "in-flight solve response malformed: $(cat "$TMP/inflight.json")"
+if wait "$SERVER_PID"; then
+  SERVER_PID=""
+else
+  cat "$TMP/server.log" >&2
+  fail "server exited non-zero after drain"
+fi
+grep -q 'drained, bye' "$TMP/server.log" || fail "server log missing drain completion"
+
+echo "serve_smoke: OK"

@@ -48,6 +48,20 @@
 //	-serve-corpus S|M|L  extra scales driven at N/4 sessions and
 //	                     recorded without gating (default L; "none"
 //	                     disables)
+//	-throughput L,XL     also run the end-to-end throughput benchmark
+//	                     (internal/bench RunThroughput): generate the
+//	                     named large-scale scenarios (~1.1e5 tuples at
+//	                     L, ~1.1e6 at XL), prepare + solve them with
+//	                     the sharded solvers, and record tuples/sec and
+//	                     peak-RSS rows into BENCH_*.json (empty or
+//	                     "none" disables)
+//	-throughput-solvers  solver subset for -throughput (default
+//	                     sharded-greedy,sharded-collective)
+//	-throughput-gate X   minimum calibration-normalized throughput on
+//	                     the gated L rows (default 100; 0 disables;
+//	                     XL rows are recorded-only, never gated)
+//	-throughput-mem MB   peak-RSS budget on the gated L rows (default
+//	                     2048; 0 disables)
 //	-quality             also run the quality scenario matrix
 //	                     (internal/quality) and write QUALITY_*.json
 //	                     next to the bench reports
@@ -107,6 +121,10 @@ func run() int {
 		serveSessions   = flag.Int("serve-sessions", 120, "concurrent sessions per serve scale")
 		serveBatches    = flag.Int("serve-batches", 4, "append batches per streaming serve session")
 		serveCorpus     = flag.String("serve-corpus", "L", "extra serve scales driven at a quarter of the sessions, recorded without gating (comma list; none disables)")
+		throughput      = flag.String("throughput", "", "also run the end-to-end throughput benchmark at these scales (comma list of L, XL; empty or none disables)")
+		tputSolvers     = flag.String("throughput-solvers", "", "comma-separated solver subset for -throughput (default sharded-greedy,sharded-collective)")
+		tputGate        = flag.Float64("throughput-gate", 100, "minimum calibration-normalized throughput on the gated L rows (0 disables)")
+		tputMem         = flag.Float64("throughput-mem", 2048, "peak-RSS budget in MB on the gated L rows (0 disables)")
 		runQuality      = flag.Bool("quality", false, "also run the quality scenario matrix and write QUALITY_*.json to -out")
 		qualityBaseline = flag.String("quality-baseline", "", "F1 baseline for the -quality run (gated, or refreshed with -update-baseline)")
 		qualityTol      = flag.Float64("quality-tolerance", 0.01, "allowed absolute F1 drop vs -quality-baseline (0 = exact)")
@@ -228,6 +246,45 @@ func run() int {
 		}
 	}
 
+	exitThroughput := 0
+	var throughputRows []bench.ThroughputResult
+	if *throughput != "" && !strings.EqualFold(*throughput, "none") {
+		var tscales []bench.ThroughputSpec
+		for _, name := range strings.Split(*throughput, ",") {
+			spec, err := bench.ThroughputSpecFor(strings.ToUpper(strings.TrimSpace(name)))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			tscales = append(tscales, spec)
+		}
+		var tsolvers []string
+		if *tputSolvers != "" {
+			tsolvers = strings.Split(*tputSolvers, ",")
+		}
+		fmt.Printf("benchrun: throughput scales=%s gate=%g mem=%gMB\n", *throughput, *tputGate, *tputMem)
+		var err error
+		throughputRows, err = bench.RunThroughput(ctx, bench.ThroughputOptions{
+			Scales:      tscales,
+			Solvers:     tsolvers,
+			Parallelism: *parallelism,
+			Budget:      *budget,
+			Progress:    func(line string) { fmt.Println(line) },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+		if err := bench.CheckThroughput(throughputRows, bench.ThroughputGate{
+			MinNormalized: *tputGate, MaxRSSMB: *tputMem,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitThroughput = 2
+		} else {
+			fmt.Printf("throughput gate ok: L normalized ≥ %g, peak RSS ≤ %gMB (XL recorded only)\n", *tputGate, *tputMem)
+		}
+	}
+
 	var reports []*bench.Report
 	if len(scales) > 0 {
 		opt := bench.Options{
@@ -257,6 +314,39 @@ func run() int {
 					r.Serve = append(r.Serve, row)
 				}
 			}
+			for _, row := range throughputRows {
+				if row.Solver == r.Solver {
+					r.Throughput = append(r.Throughput, row)
+				}
+			}
+		}
+		paths, err := bench.WriteReports(*outDir, reports)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+		for _, p := range paths {
+			fmt.Println("wrote", p)
+		}
+	} else if len(throughputRows) > 0 {
+		// Throughput-only run (-scale none -throughput …): the rows
+		// still deserve a report file per solver.
+		byolver := map[string]*bench.Report{}
+		calib := float64(bench.Calibrate().Nanoseconds()) / 1e6
+		for _, row := range throughputRows {
+			r, ok := byolver[row.Solver]
+			if !ok {
+				r = &bench.Report{
+					Solver:            row.Solver,
+					GoVersion:         runtime.Version(),
+					GOMAXPROCS:        runtime.GOMAXPROCS(0),
+					CalibrationMillis: calib,
+					Results:           []bench.Result{},
+				}
+				byolver[row.Solver] = r
+				reports = append(reports, r)
+			}
+			r.Throughput = append(r.Throughput, row)
 		}
 		paths, err := bench.WriteReports(*outDir, reports)
 		if err != nil {
@@ -271,6 +361,9 @@ func run() int {
 	exit := exitStream
 	if exitServe > exit {
 		exit = exitServe
+	}
+	if exitThroughput > exit {
+		exit = exitThroughput
 	}
 	if *baselinePath != "" && len(scales) > 0 {
 		if *updateBaseline {

@@ -7,7 +7,11 @@
 // Usage:
 //
 //	exchange -mapping m.tgd -in proj=proj.csv [-in dept=dept.csv] \
-//	         [-out outdir] [-core] [-query "q(e,c) :- task(p,e,o), org(o,c)"]
+//	         [-out outdir] [-core] [-query "q(e,c) :- task(p,e,o), org(o,c)"] \
+//	         [-header=false]
+//
+// Input CSVs are assumed to start with a header row; pass
+// -header=false for headerless files.
 //
 // Mapping file format: one tgd per line, e.g.
 //

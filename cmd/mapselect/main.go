@@ -2,15 +2,21 @@
 // (produced by scenariogen) and reports the selected mapping, its
 // Eq. (9) objective, and quality against the scenario's gold mapping.
 //
-// Solvers are resolved by name from the registry; Ctrl-C cancels a
-// running solve, -timeout sets a hard deadline, and -budget a soft
-// one (the solver returns its best selection so far).
+// Solvers are resolved by name from the registry (including the
+// sharded-* variants, which decompose the problem into connected
+// evidence components and solve them on a worker pool); Ctrl-C
+// cancels a running solve, -timeout sets a hard deadline, and
+// -budget a soft one (the solver returns its best selection so far).
 //
 // Usage:
 //
 //	mapselect -scenario sc.json [-solver collective] [-w1 1 -w2 1 -w3 1]
-//	          [-timeout 30s] [-budget 500ms] [-par 4] [-progress]
-//	          [-stream 8 [-stream-frac 0.5]]
+//	          [-timeout 30s] [-budget 500ms] [-par 4] [-seed 1] [-progress]
+//	          [-q] [-explain] [-stream 8 [-stream-frac 0.5]]
+//
+// -q prints only the selected tgds; -explain prints the provenance
+// report (per-tuple witnesses, unexplained residue, error tuples);
+// -seed seeds randomised tie-breaking.
 //
 // With -stream N the target is fed in N append batches: the solver
 // runs on the initial fraction, then each batch is ingested with
@@ -33,6 +39,9 @@ import (
 	"schemamap/internal/cover"
 	"schemamap/internal/ibench"
 	"schemamap/internal/metrics"
+
+	// Registers the sharded-* solvers so -solver can name them.
+	_ "schemamap/internal/shard"
 )
 
 func main() {

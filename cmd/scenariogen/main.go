@@ -6,6 +6,17 @@
 //
 //	scenariogen [flags] > scenario.json
 //
+//	-n N            number of primitive instances (default 7)
+//	-seed N         random seed
+//	-rows N         tuples per source relation (default 10)
+//	-arity N        base relation arity (default 3)
+//	-primitives CSV primitive mix (CP,ADD,DL,ADL,ME,VP,VNM; empty = all)
+//	-picorresp P    percent of target relations given random correspondences
+//	-pierrors P     percent of non-certain error tuples deleted from J
+//	-piunexplained P percent of non-certain unexplained tuples added to J
+//	-o FILE         output file (default stdout)
+//	-summary        print a human-readable summary to stderr
+//
 // Example:
 //
 //	scenariogen -n 7 -seed 42 -picorresp 25 -pierrors 20 -o sc.json

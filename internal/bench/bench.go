@@ -114,6 +114,10 @@ type Report struct {
 	// Serve holds the solver's serving-load rows when the run included
 	// the session-server benchmark (benchrun -serve).
 	Serve []ServeResult `json:"serve,omitempty"`
+	// Throughput holds the solver's L/XL end-to-end throughput rows
+	// when the run included the throughput benchmark (benchrun
+	// -throughput); see RunThroughput.
+	Throughput []ThroughputResult `json:"throughput,omitempty"`
 }
 
 // Options configure a harness run.

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"schemamap/internal/core"
+	"schemamap/internal/ibench"
+	"schemamap/internal/shard"
+)
+
+// ThroughputSpec is one end-to-end throughput scale: a noise-free
+// ibench scenario far beyond the solver-benchmark scales, sized in
+// target tuples. Noise is off by design — piErrors/piUnexplained make
+// scenario generation itself chase the full candidate set, which would
+// measure the generator, not the system — and the scenarios are
+// multi-component by construction (every primitive instance lives in
+// its own relation namespace), which is what connected-component
+// sharding exploits.
+type ThroughputSpec struct {
+	// Name is the scale label ("L", "XL").
+	Name string `json:"name"`
+	// N is the number of iBench primitive instances.
+	N int `json:"n"`
+	// Rows is the number of source tuples per relation.
+	Rows int `json:"rows"`
+	// Seed drives all scenario randomness.
+	Seed int64 `json:"seed"`
+}
+
+// ThroughputScales returns the two throughput scales: L (~1.1·10⁵
+// target tuples) is CI-gated; XL (~1.1·10⁶) is recorded-only — about
+// two minutes of generation plus prepare on a workstation.
+func ThroughputScales() []ThroughputSpec {
+	return []ThroughputSpec{
+		{Name: "L", N: 210, Rows: 336, Seed: 105},
+		{Name: "XL", N: 700, Rows: 1000, Seed: 106},
+	}
+}
+
+// ThroughputSpecFor resolves a throughput scale by name.
+func ThroughputSpecFor(name string) (ThroughputSpec, error) {
+	for _, s := range ThroughputScales() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return ThroughputSpec{}, fmt.Errorf("bench: unknown throughput scale %q (have L, XL)", name)
+}
+
+// Config generates the ibench configuration of a throughput spec.
+func (s ThroughputSpec) Config() ibench.Config {
+	cfg := ibench.DefaultConfig(s.N, s.Seed)
+	cfg.Rows = s.Rows
+	return cfg
+}
+
+// ThroughputResult is one (solver, throughput scale) measurement: the
+// end-to-end rate at which the system turns raw target tuples into a
+// solved selection, plus the decomposition shape and the process peak
+// RSS.
+type ThroughputResult struct {
+	Solver      string `json:"solver"`
+	Scale       string `json:"scale"`
+	Seed        int64  `json:"seed"`
+	Parallelism int    `json:"parallelism"`
+	// Scenario size.
+	JTuples    int `json:"jTuples"`
+	Candidates int `json:"candidates"`
+	// Decomposition shape (shard.StatsOf of the evidence graph).
+	Shards                 int `json:"shards"`
+	UncoveredTuples        int `json:"uncoveredTuples"`
+	LargestShardCandidates int `json:"largestShardCandidates"`
+	LargestShardTuples     int `json:"largestShardTuples"`
+	// Phase wall times. GenerateMillis is harness cost (building the
+	// scenario), shared by every solver on the scale; PrepareMillis +
+	// SolveMillis is the system cost that TuplesPerSec measures.
+	GenerateMillis float64 `json:"generateMillis"`
+	PrepareMillis  float64 `json:"prepareMillis"`
+	SolveMillis    float64 `json:"solveMillis"`
+	Objective      float64 `json:"objective"`
+	Truncated      bool    `json:"truncated"`
+	// TuplesPerSec is JTuples / (prepare + solve) — end-to-end
+	// ingest-to-selection throughput, excluding generation.
+	TuplesPerSec float64 `json:"tuplesPerSec"`
+	// NormalizedThroughput is TuplesPerSec × calibration seconds:
+	// tuples processed per calibration unit of machine time. The gate
+	// compares this, so the floor survives machine changes.
+	NormalizedThroughput float64 `json:"normalizedThroughput"`
+	// PeakRSSMB is the process peak resident set (getrusage MaxRSS)
+	// sampled after the measurement. RSS is a process-lifetime
+	// high-water mark: rows reflect everything run before them too, so
+	// gate the first (smallest) scale of a run only.
+	PeakRSSMB float64 `json:"peakRSSMB"`
+}
+
+// ThroughputOptions configure a RunThroughput call.
+type ThroughputOptions struct {
+	// Scales to run (nil = the gated L scale only).
+	Scales []ThroughputSpec
+	// Solvers to run (nil = sharded-greedy and sharded-collective).
+	Solvers []string
+	// Parallelism bounds prepare and shard workers (0 = GOMAXPROCS).
+	Parallelism int
+	// Budget is the per-solve soft budget (0 = unlimited).
+	Budget time.Duration
+	// Progress, when non-nil, receives one line per measurement.
+	Progress func(string)
+}
+
+// RunThroughput measures end-to-end throughput — scenario tuples per
+// second of prepare + solve — at the L/XL scales. Each scale's
+// scenario is generated once and shared across solvers; each solver
+// gets a fresh Problem so its prepare cost is measured independently.
+func RunThroughput(ctx context.Context, opt ThroughputOptions) ([]ThroughputResult, error) {
+	scales := opt.Scales
+	if len(scales) == 0 {
+		scales = []ThroughputSpec{ThroughputScales()[0]}
+	}
+	solvers := opt.Solvers
+	if len(solvers) == 0 {
+		solvers = []string{"sharded-greedy", "sharded-collective"}
+	}
+	for _, name := range solvers {
+		if _, err := core.Get(name); err != nil {
+			return nil, err
+		}
+	}
+	calibSec := Calibrate().Seconds()
+
+	var out []ThroughputResult
+	for _, spec := range scales {
+		genStart := time.Now()
+		sc, err := ibench.Generate(spec.Config())
+		if err != nil {
+			return nil, fmt.Errorf("bench: throughput scale %s: %w", spec.Name, err)
+		}
+		gen := time.Since(genStart)
+		for _, name := range solvers {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			solver := core.MustGet(name)
+			p := core.NewProblem(sc.I, sc.J, sc.Candidates)
+
+			prepStart := time.Now()
+			p.PrepareN(opt.Parallelism)
+			prepare := time.Since(prepStart)
+			st := shard.StatsOf(shard.SplitN(p, opt.Parallelism))
+
+			var opts []core.SolveOption
+			opts = append(opts, core.WithParallelism(opt.Parallelism))
+			if opt.Budget > 0 {
+				opts = append(opts, core.WithBudget(opt.Budget))
+			}
+			solveStart := time.Now()
+			sel, err := solver.Solve(ctx, p, opts...)
+			solve := time.Since(solveStart)
+			if err != nil {
+				return nil, fmt.Errorf("bench: throughput %s/%s: %w", spec.Name, name, err)
+			}
+
+			tps := float64(sc.J.Len()) / (prepare + solve).Seconds()
+			res := ThroughputResult{
+				Solver:                 name,
+				Scale:                  spec.Name,
+				Seed:                   spec.Seed,
+				Parallelism:            opt.Parallelism,
+				JTuples:                sc.J.Len(),
+				Candidates:             len(sc.Candidates),
+				Shards:                 st.Shards,
+				UncoveredTuples:        st.UncoveredTuples,
+				LargestShardCandidates: st.LargestCandidates,
+				LargestShardTuples:     st.LargestTuples,
+				GenerateMillis:         millis(gen),
+				PrepareMillis:          millis(prepare),
+				SolveMillis:            millis(solve),
+				Objective:              sel.Objective.Total(),
+				Truncated:              sel.Truncated,
+				TuplesPerSec:           tps,
+				NormalizedThroughput:   tps * calibSec,
+				PeakRSSMB:              peakRSSMB(),
+			}
+			out = append(out, res)
+			if opt.Progress != nil {
+				opt.Progress(fmt.Sprintf(
+					"%s/%-18s J=%d shards=%d prepare=%8.0fms solve=%8.0fms tps=%8.0f norm=%6.1f rss=%.0fMB",
+					res.Scale, res.Solver, res.JTuples, res.Shards,
+					res.PrepareMillis, res.SolveMillis, res.TuplesPerSec,
+					res.NormalizedThroughput, res.PeakRSSMB))
+			}
+		}
+	}
+	return out, nil
+}
+
+// ThroughputGate is the CI regression gate over throughput rows.
+type ThroughputGate struct {
+	// Scales to gate (nil = L only; XL stays recorded-only).
+	Scales []string
+	// MinNormalized is the floor on NormalizedThroughput (≤ 0
+	// disables). The local reference machine measures ≈ 400 at L; the
+	// CI floor of 100 catches a 4× slowdown without flaking on runner
+	// variance, since the calibration already divides machine speed
+	// out.
+	MinNormalized float64
+	// MaxRSSMB is the peak-RSS budget in MiB (≤ 0 disables). L peaks
+	// ≈ 450 MB on the reference machine.
+	MaxRSSMB float64
+}
+
+// CheckThroughput applies the gate to a RunThroughput result set and
+// returns a descriptive error listing every violation. Rows on scales
+// outside gate.Scales are recorded-only and never fail the check.
+func CheckThroughput(results []ThroughputResult, gate ThroughputGate) error {
+	gated := map[string]bool{}
+	if len(gate.Scales) == 0 {
+		gated["L"] = true
+	}
+	for _, s := range gate.Scales {
+		gated[s] = true
+	}
+	var violations []string
+	for _, r := range results {
+		if !gated[r.Scale] {
+			continue
+		}
+		if gate.MinNormalized > 0 && r.NormalizedThroughput < gate.MinNormalized {
+			violations = append(violations, fmt.Sprintf(
+				"%s/%s: normalized throughput %.1f below floor %.1f (%.0f tuples/sec)",
+				r.Scale, r.Solver, r.NormalizedThroughput, gate.MinNormalized, r.TuplesPerSec))
+		}
+		if gate.MaxRSSMB > 0 && r.PeakRSSMB > gate.MaxRSSMB {
+			violations = append(violations, fmt.Sprintf(
+				"%s/%s: peak RSS %.0f MB over budget %.0f MB",
+				r.Scale, r.Solver, r.PeakRSSMB, gate.MaxRSSMB))
+		}
+		if r.Truncated {
+			violations = append(violations, fmt.Sprintf(
+				"%s/%s: solve truncated — throughput not comparable", r.Scale, r.Solver))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("bench: throughput gate failed:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
+}
+
+// peakRSSMB returns the process peak resident set size in MiB.
+// getrusage reports MaxRSS in KiB on Linux and bytes on Darwin.
+func peakRSSMB() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	rss := float64(ru.Maxrss)
+	if runtime.GOOS == "darwin" {
+		return rss / (1024 * 1024)
+	}
+	return rss / 1024
+}

@@ -20,11 +20,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"schemamap/internal/core"
 	"schemamap/internal/data"
 	"schemamap/internal/ibench"
+	"schemamap/internal/shard"
 )
 
 // Wire types.
@@ -81,6 +83,11 @@ type solveRequest struct {
 	Seed          int64  `json:"seed,omitempty"`
 	// Warm re-solves from the session's last selection.
 	Warm bool `json:"warm,omitempty"`
+	// Sharded routes the solve through connected-component sharding
+	// (internal/shard): the named solver runs per evidence-graph
+	// component on a worker pool instead of on the whole problem.
+	// Ignored when the solver name is already a sharded-* variant.
+	Sharded bool `json:"sharded,omitempty"`
 }
 
 type wireObjective struct {
@@ -338,6 +345,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.Sharded && !strings.HasPrefix(req.Solver, "sharded-") {
+		if solver, err = shard.Wrap(req.Solver); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
 
 	// The worker pool bounds solve concurrency across sessions; queue
 	// on it, but give up when the client goes away.
@@ -402,14 +415,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	sess.lastF = sel.Objective.Total()
 	sess.solved = true
 	sess.lastMu.Unlock()
-	s.reg.HistogramWith("serve_solve_seconds", "Solve latency per solver.", "solver", req.Solver, nil).
+	// Metrics and the response carry the effective solver name, so a
+	// sharded request shows up as sharded-<solver>.
+	name := solver.Name()
+	s.reg.HistogramWith("serve_solve_seconds", "Solve latency per solver.", "solver", name, nil).
 		Observe(elapsed.Seconds())
-	s.reg.CounterWith("serve_solves_total", "Solves per solver.", "solver", req.Solver).Inc()
-	s.reg.CounterWith("serve_solve_objective_sum", "Sum of solve objectives per solver (divide by serve_solves_total for the mean).", "solver", req.Solver).
+	s.reg.CounterWith("serve_solves_total", "Solves per solver.", "solver", name).Inc()
+	s.reg.CounterWith("serve_solve_objective_sum", "Sum of solve objectives per solver (divide by serve_solves_total for the mean).", "solver", name).
 		Add(sel.Objective.Total())
 
 	writeJSON(w, http.StatusOK, solveResponse{
-		Solver:     req.Solver,
+		Solver:     name,
 		Selected:   sel.Indices(),
 		Count:      sel.Count(),
 		Candidates: len(sel.Chosen),

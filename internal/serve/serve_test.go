@@ -157,6 +157,37 @@ func TestSessionLifecycleRoundTrip(t *testing.T) {
 	}
 }
 
+// A request with sharded:true must route through the shard wrapper —
+// the effective solver name is reported — and return the same
+// objective as the unsharded solve of the same session.
+func TestShardedSolveRequest(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var created createResponse
+	if code := call(t, "POST", ts.URL+"/sessions", createRequest{Name: "test"}, &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+
+	var plain, sharded solveResponse
+	if code := call(t, "POST", ts.URL+"/sessions/"+created.ID+"/solve", solveRequest{Solver: "greedy"}, &plain); code != http.StatusOK {
+		t.Fatalf("solve: status %d", code)
+	}
+	if code := call(t, "POST", ts.URL+"/sessions/"+created.ID+"/solve", solveRequest{Solver: "greedy", Sharded: true}, &sharded); code != http.StatusOK {
+		t.Fatalf("sharded solve: status %d", code)
+	}
+	if sharded.Solver != "sharded-greedy" {
+		t.Fatalf("sharded solve reported solver %q, want sharded-greedy", sharded.Solver)
+	}
+	if sharded.Objective.Total > plain.Objective.Total+1e-9 {
+		t.Fatalf("sharded objective %g worse than unsharded %g", sharded.Objective.Total, plain.Objective.Total)
+	}
+
+	// An unknown inner solver is a 400, not a crash.
+	if code := call(t, "POST", ts.URL+"/sessions/"+created.ID+"/solve", solveRequest{Solver: "nope", Sharded: true}, nil); code != http.StatusBadRequest {
+		t.Fatalf("sharded solve with unknown solver: status %d, want 400", code)
+	}
+}
+
 // Sessions over the same scenario content must share one prepared
 // problem, and an append must fork privately without touching the
 // sibling session.

@@ -1,0 +1,378 @@
+package shard_test
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"schemamap/internal/core"
+	"schemamap/internal/cover"
+	"schemamap/internal/data"
+	"schemamap/internal/ibench"
+	"schemamap/internal/shard"
+	"schemamap/internal/tgd"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// scenarioProblem generates a deterministic ibench scenario.
+func scenarioProblem(t *testing.T, cfg ibench.Config) *core.Problem {
+	t.Helper()
+	sc, err := ibench.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return core.NewProblem(sc.I, sc.J, sc.Candidates)
+}
+
+// noisyConfig mirrors the bench harness's noise settings (Table I).
+func noisyConfig(n, rows int, seed int64) ibench.Config {
+	cfg := ibench.DefaultConfig(n, seed)
+	cfg.Rows = rows
+	cfg.PiCorresp = 20
+	cfg.PiErrors = 10
+	cfg.PiUnexplained = 10
+	return cfg
+}
+
+// TestSplitPartition: every candidate and every tuple lands in exactly
+// one shard, and the candidate-free shard is exactly the certainly
+// unexplained tuple set.
+func TestSplitPartition(t *testing.T) {
+	p := scenarioProblem(t, noisyConfig(7, 10, 7))
+	shards := shard.Split(p)
+	candSeen := make([]int, p.NumCandidates())
+	tupSeen := make([]int, p.JIndex().Len())
+	for _, sh := range shards {
+		for _, ci := range sh.Candidates {
+			candSeen[ci]++
+		}
+		for _, j := range sh.Tuples {
+			tupSeen[j]++
+		}
+		if sh.Problem.NumCandidates() != len(sh.Candidates) {
+			t.Fatalf("subproblem candidate count %d != %d", sh.Problem.NumCandidates(), len(sh.Candidates))
+		}
+		if sh.Problem.JIndex().Len() != len(sh.Tuples) {
+			t.Fatalf("subproblem tuple count %d != %d", sh.Problem.JIndex().Len(), len(sh.Tuples))
+		}
+	}
+	for i, n := range candSeen {
+		if n != 1 {
+			t.Fatalf("candidate %d in %d shards", i, n)
+		}
+	}
+	for j, n := range tupSeen {
+		if n != 1 {
+			t.Fatalf("tuple %d in %d shards", j, n)
+		}
+	}
+	uncovered := cover.CertainUnexplained(p.JIndex(), p.Analyses())
+	st := shard.StatsOf(shards)
+	if st.UncoveredTuples != len(uncovered) {
+		t.Fatalf("uncovered shard has %d tuples, CertainUnexplained reports %d", st.UncoveredTuples, len(uncovered))
+	}
+}
+
+// TestSplitSingleGiantComponent: a problem whose evidence graph is one
+// connected component splits into exactly one shard spanning the
+// original problem.
+func TestSplitSingleGiantComponent(t *testing.T) {
+	I := data.NewInstance()
+	I.Add(data.NewTuple("proj", "BigData", "Bob", "IBM"))
+	I.Add(data.NewTuple("proj", "ML", "Alice", "SAP"))
+	J := data.NewInstance()
+	J.Add(data.NewTuple("task", "ML", "Alice", "111"))
+	J.Add(data.NewTuple("org", "111", "SAP"))
+	p := core.NewProblem(I, J, tgd.Mapping{
+		tgd.MustParse("proj(p,e,c) -> task(p,e,O)"),
+		tgd.MustParse("proj(p,e,c) -> task(p,e,O) & org(O,c)"),
+	})
+	shards := shard.Split(p)
+	if len(shards) != 1 {
+		t.Fatalf("got %d shards, want 1", len(shards))
+	}
+	sh := shards[0]
+	if len(sh.Candidates) != p.NumCandidates() || len(sh.Tuples) != p.JIndex().Len() {
+		t.Fatalf("giant shard spans %d candidates / %d tuples, want %d / %d",
+			len(sh.Candidates), len(sh.Tuples), p.NumCandidates(), p.JIndex().Len())
+	}
+	// The subproblem must evaluate selections identically to the
+	// original.
+	for _, sel := range [][]bool{{false, false}, {true, false}, {false, true}, {true, true}} {
+		if got, want := sh.Problem.Objective(sel).Total(), p.Objective(sel).Total(); !approx(got, want) {
+			t.Fatalf("subproblem objective %v != original %v for %v", got, want, sel)
+		}
+	}
+}
+
+// TestSplitAllSingletons: candidates covering nothing are singleton
+// components; tuples covered by nothing form the final candidate-free
+// shard.
+func TestSplitAllSingletons(t *testing.T) {
+	I := data.NewInstance()
+	I.Add(data.NewTuple("s", "a", "b"))
+	J := data.NewInstance()
+	J.Add(data.NewTuple("u", "x"))
+	J.Add(data.NewTuple("u", "y"))
+	p := core.NewProblem(I, J, tgd.Mapping{
+		tgd.MustParse("s(x,y) -> t(x,y)"),
+		tgd.MustParse("s(x,y) -> v(y,x)"),
+	})
+	shards := shard.Split(p)
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards, want 2 singleton candidates + 1 uncovered", len(shards))
+	}
+	for c := 0; c < 2; c++ {
+		if len(shards[c].Candidates) != 1 || shards[c].Candidates[0] != c || len(shards[c].Tuples) != 0 {
+			t.Fatalf("shard %d = %+v, want singleton candidate %d", c, shards[c], c)
+		}
+	}
+	last := shards[2]
+	if len(last.Candidates) != 0 || len(last.Tuples) != 2 {
+		t.Fatalf("uncovered shard = %+v, want 2 candidate-free tuples", last)
+	}
+	// Sharded-greedy still solves it, and leaves everything unselected
+	// (both candidates only create errors).
+	sel, err := core.MustGet("sharded-greedy").Solve(context.Background(), p)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if sel.Count() != 0 {
+		t.Fatalf("selected %d candidates, want 0", sel.Count())
+	}
+	if want := p.Objective(sel.Chosen).Total(); !approx(sel.Objective.Total(), want) {
+		t.Fatalf("objective %v != parent evaluation %v", sel.Objective.Total(), want)
+	}
+}
+
+// TestSplitEmptyProblem: no candidates and no target tuples → no
+// shards, and the sharded solver returns the empty selection.
+func TestSplitEmptyProblem(t *testing.T) {
+	p := core.NewProblem(data.NewInstance(), data.NewInstance(), nil)
+	shards := shard.Split(p)
+	if len(shards) != 0 {
+		t.Fatalf("got %d shards, want 0", len(shards))
+	}
+	sel, err := core.MustGet("sharded-greedy").Solve(context.Background(), p)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if len(sel.Chosen) != 0 || !approx(sel.Objective.Total(), 0) {
+		t.Fatalf("empty problem selection = %+v", sel)
+	}
+}
+
+// TestSplitDeterminism: the decomposition is identical across repeated
+// runs and across subproblem-construction parallelism levels.
+func TestSplitDeterminism(t *testing.T) {
+	strip := func(shards []shard.Shard) [][2][]int {
+		out := make([][2][]int, len(shards))
+		for i, sh := range shards {
+			out[i] = [2][]int{sh.Candidates, sh.Tuples}
+		}
+		return out
+	}
+	p := scenarioProblem(t, noisyConfig(14, 12, 99))
+	ref := strip(shard.SplitN(p, 1))
+	for _, workers := range []int{1, 2, 8} {
+		for run := 0; run < 3; run++ {
+			got := strip(shard.SplitN(p, workers))
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("split with %d workers (run %d) differs from serial reference", workers, run)
+			}
+		}
+	}
+}
+
+// TestMergeObjectiveDecomposition is the separability property test:
+// on random scenarios, per-shard objectives of any selections sum —
+// plus w₁ per uncovered tuple — to the parent objective of the
+// concatenated selection, term by term.
+func TestMergeObjectiveDecomposition(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23, 94} {
+		p := scenarioProblem(t, noisyConfig(10, 8, seed))
+		shards := shard.Split(p)
+		greedy := core.MustGet("greedy")
+		merged := make([]bool, p.NumCandidates())
+		var sum core.Breakdown
+		for _, sh := range shards {
+			var chosen []bool
+			if len(sh.Candidates) > 0 {
+				sel, err := greedy.Solve(context.Background(), sh.Problem)
+				if err != nil {
+					t.Fatalf("seed %d: shard solve: %v", seed, err)
+				}
+				chosen = sel.Chosen
+			} else {
+				chosen = make([]bool, 0)
+			}
+			b := sh.Problem.Objective(chosen)
+			sum.Unexplained += b.Unexplained
+			sum.Errors += b.Errors
+			sum.Size += b.Size
+			for k, ci := range sh.Candidates {
+				merged[ci] = chosen[k]
+			}
+		}
+		parent := p.Objective(merged)
+		if !approx(sum.Unexplained, parent.Unexplained) || !approx(sum.Errors, parent.Errors) || !approx(sum.Size, parent.Size) {
+			t.Fatalf("seed %d: shard sum %+v != parent %+v", seed, sum, parent)
+		}
+	}
+}
+
+// TestShardedGreedyBitIdentical is the S/M differential test: with
+// tiny-component routing disabled, sharded greedy reaches exactly the
+// unsharded greedy selection and objective — greedy's adds and
+// removals are component-local, so the global and per-component runs
+// share every fixed point.
+func TestShardedGreedyBitIdentical(t *testing.T) {
+	scales := []struct {
+		name    string
+		n, rows int
+		seed    int64
+	}{
+		{"S", 7, 10, 7},
+		{"M", 28, 24, 28},
+	}
+	for _, sc := range scales {
+		p := scenarioProblem(t, noisyConfig(sc.n, sc.rows, sc.seed))
+		unsharded, err := core.MustGet("greedy").Solve(context.Background(), p)
+		if err != nil {
+			t.Fatalf("%s: greedy: %v", sc.name, err)
+		}
+		sharded, err := shard.Solver{Inner: "greedy", TinyCap: -1}.Solve(context.Background(), p)
+		if err != nil {
+			t.Fatalf("%s: sharded greedy: %v", sc.name, err)
+		}
+		if !reflect.DeepEqual(sharded.Chosen, unsharded.Chosen) {
+			t.Fatalf("%s: sharded selection differs from unsharded", sc.name)
+		}
+		if sharded.Objective != unsharded.Objective {
+			t.Fatalf("%s: objective %+v != unsharded %+v", sc.name, sharded.Objective, unsharded.Objective)
+		}
+	}
+}
+
+// TestShardedDefaultNoWorse: the registered sharded-greedy (exhaustive
+// on tiny components) is never worse than plain greedy, and its
+// reported objective always equals the parent evaluation of its
+// selection. sharded-collective gets the same merge-exactness check.
+func TestShardedDefaultNoWorse(t *testing.T) {
+	p := scenarioProblem(t, noisyConfig(7, 10, 7))
+	base, err := core.MustGet("greedy").Solve(context.Background(), p)
+	if err != nil {
+		t.Fatalf("greedy: %v", err)
+	}
+	for _, name := range []string{"sharded-greedy", "sharded-collective"} {
+		sel, err := core.MustGet(name).Solve(context.Background(), p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got, want := sel.Objective, p.Objective(sel.Chosen); got != want {
+			t.Fatalf("%s: reported objective %+v != parent evaluation %+v", name, got, want)
+		}
+		if name == "sharded-greedy" && sel.Objective.Total() > base.Objective.Total()+1e-9 {
+			t.Fatalf("sharded-greedy objective %v worse than greedy %v", sel.Objective.Total(), base.Objective.Total())
+		}
+	}
+}
+
+// TestShardedParallelismInvariance: the merged selection is identical
+// at every parallelism level.
+func TestShardedParallelismInvariance(t *testing.T) {
+	p := scenarioProblem(t, noisyConfig(14, 12, 5))
+	ref, err := core.MustGet("sharded-greedy").Solve(context.Background(), p, core.WithParallelism(1))
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	for _, par := range []int{2, 4, 8} {
+		sel, err := core.MustGet("sharded-greedy").Solve(context.Background(), p, core.WithParallelism(par))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(sel.Chosen, ref.Chosen) || sel.Objective != ref.Objective {
+			t.Fatalf("parallelism %d: selection diverged from serial run", par)
+		}
+	}
+}
+
+// TestShardedWarmStart: a warm re-solve after AppendTarget must not be
+// worse than the cold solve of the grown problem.
+func TestShardedWarmStart(t *testing.T) {
+	sc, err := ibench.Generate(noisyConfig(7, 10, 11))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	stream, err := ibench.SplitTarget(sc, ibench.StreamConfig{Batches: 3, InitialFrac: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatalf("split target: %v", err)
+	}
+	p := core.NewProblem(sc.I, stream.Initial, sc.Candidates)
+	p.PrepareStreaming(0)
+	solver := core.MustGet("sharded-greedy")
+	prev, err := solver.Solve(context.Background(), p)
+	if err != nil {
+		t.Fatalf("initial solve: %v", err)
+	}
+	for _, batch := range stream.Batches {
+		if _, err := p.AppendTarget(batch); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		warm, err := solver.Solve(context.Background(), p, core.WithWarmStart(prev))
+		if err != nil {
+			t.Fatalf("warm solve: %v", err)
+		}
+		cold, err := solver.Solve(context.Background(), p)
+		if err != nil {
+			t.Fatalf("cold solve: %v", err)
+		}
+		if warm.Objective.Total() > cold.Objective.Total()+1e-9 {
+			t.Fatalf("warm objective %v worse than cold %v", warm.Objective.Total(), cold.Objective.Total())
+		}
+		prev = warm
+	}
+}
+
+// TestShardedCancellation: a cancelled context aborts the sharded
+// solve with ctx.Err().
+func TestShardedCancellation(t *testing.T) {
+	p := scenarioProblem(t, noisyConfig(7, 10, 7))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := core.MustGet("sharded-collective").Solve(ctx, p); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestWrap: the serving layer's per-request sharding hook.
+func TestWrap(t *testing.T) {
+	s, err := shard.Wrap("greedy")
+	if err != nil {
+		t.Fatalf("Wrap(greedy): %v", err)
+	}
+	if s.Name() != "sharded-greedy" {
+		t.Fatalf("wrapped name = %q", s.Name())
+	}
+	if _, err := shard.Wrap("sharded-greedy"); err == nil {
+		t.Fatal("Wrap(sharded-greedy) should fail")
+	}
+	if _, err := shard.Wrap("no-such-solver"); err == nil {
+		t.Fatal("Wrap(no-such-solver) should fail")
+	}
+}
+
+// TestRegistry: the sharded variants are registered at init.
+func TestRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, n := range core.Names() {
+		names[n] = true
+	}
+	for _, want := range []string{"sharded-greedy", "sharded-collective"} {
+		if !names[want] {
+			t.Fatalf("%q not registered (have %v)", want, core.Names())
+		}
+	}
+}

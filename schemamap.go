@@ -24,6 +24,7 @@
 //	internal/clio     Clio-style candidate generation
 //	internal/ibench   iBench-style scenario generation with noise
 //	internal/metrics  mapping- and tuple-level precision/recall/F1
+//	internal/shard    connected-component sharding for L/XL scale
 //
 // A minimal end-to-end run:
 //
@@ -72,6 +73,7 @@ import (
 	"schemamap/internal/metrics"
 	"schemamap/internal/query"
 	"schemamap/internal/schema"
+	"schemamap/internal/shard"
 	"schemamap/internal/tgd"
 )
 
@@ -158,6 +160,13 @@ type (
 	ExplanationReport = cover.Report
 	// Witness explains one target tuple.
 	Witness = cover.Witness
+
+	// Shard is one connected component of a problem's evidence graph,
+	// materialised as an independently solvable sub-Problem.
+	Shard = shard.Shard
+	// ShardStats summarises a decomposition (shard count, largest
+	// component, uncovered tuples).
+	ShardStats = shard.Stats
 )
 
 // iBench primitives.
@@ -249,6 +258,25 @@ func WithWarmStart(prev *Selection) SolveOption { return core.WithWarmStart(prev
 func SplitTarget(sc *Scenario, cfg StreamConfig) (*TargetStream, error) {
 	return ibench.SplitTarget(sc, cfg)
 }
+
+// SplitProblem decomposes a problem into the connected components of
+// its evidence graph (candidates linked to the tuples they cover).
+// The Eq. (9) objective is block-separable over these components, so
+// each shard can be solved independently and the union of per-shard
+// selections has exactly the objective of a whole-problem solve.
+// Uncovered tuples land in one final candidate-free shard.
+func SplitProblem(p *Problem) []Shard { return shard.Split(p) }
+
+// ShardStatsOf summarises a decomposition produced by SplitProblem.
+func ShardStatsOf(shards []Shard) ShardStats { return shard.StatsOf(shards) }
+
+// ShardedSolver wraps a registered solver so that it solves each
+// connected evidence component independently on a bounded worker pool
+// (see WithParallelism) and merges the per-shard selections. Tiny
+// components are solved exactly regardless of the inner solver. The
+// registry also carries the wrapped variants under the names
+// "sharded-greedy" and "sharded-collective".
+func ShardedSolver(inner string) (Solver, error) { return shard.Wrap(inner) }
 
 // GenerateCandidates produces Clio-style candidate tgds from schemas
 // and correspondences.

@@ -30,9 +30,12 @@
 //	                     Prepare+Solve, recorded into BENCH_*.json and
 //	                     gated on evidence/objective equality
 //	-stream-batches N    append batches per streaming run (default 8)
-//	-stream-gate X       minimum warm-vs-cold speedup for the greedy
-//	                     row at the largest streamed scale (default 2;
-//	                     0 disables the speedup check)
+//	-stream-gate X       minimum warm-vs-cold speedup for the gated
+//	                     solver rows at the largest streamed scale
+//	                     (default 2; 0 disables the speedup check)
+//	-stream-gate-solvers comma list of solvers the -stream-gate floor
+//	                     applies to (default greedy,collective; other
+//	                     streamed solvers are recorded ungated)
 //	-serve               also run the serving benchmark: boot the
 //	                     session server (internal/serve) and drive it
 //	                     with concurrent sessions (named-corpus creates
@@ -116,7 +119,8 @@ func run() int {
 		strictCompare   = flag.Bool("strict-compare", false, "fail -compare-admm when no speedup on a multi-core machine")
 		runStream       = flag.Bool("stream", false, "also run the streaming benchmark (batched AppendTarget + warm-start re-solve vs cold Prepare+Solve) on the selected scales")
 		streamBatches   = flag.Int("stream-batches", 8, "append batches per streaming run")
-		streamGate      = flag.Float64("stream-gate", 2, "minimum warm-vs-cold speedup for the greedy row at the largest streamed scale (0 disables; evidence/objective equality is always gated)")
+		streamGate      = flag.Float64("stream-gate", 2, "minimum warm-vs-cold speedup for the gated solver rows at the largest streamed scale (0 disables; evidence/objective equality is always gated)")
+		streamGateSolv  = flag.String("stream-gate-solvers", "greedy,collective", "comma list of solvers the -stream-gate speedup floor applies to")
 		runServe        = flag.Bool("serve", false, "also run the serving benchmark: concurrent sessions against the session server, p50/p99 rows recorded and gated")
 		serveSessions   = flag.Int("serve-sessions", 120, "concurrent sessions per serve scale")
 		serveBatches    = flag.Int("serve-batches", 4, "append batches per streaming serve session")
@@ -197,12 +201,19 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "benchrun:", err)
 			return 1
 		}
-		if err := bench.CheckStreaming(streamRows, "greedy", *streamGate); err != nil {
+		gateSolvers := strings.Split(*streamGateSolv, ",")
+		if err := bench.CheckStreaming(streamRows, gateSolvers, *streamGate); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			exitStream = 2
 		} else {
-			fmt.Printf("stream gate ok: evidence identical, warm objective ≤ cold, speedup ≥ %gx\n", *streamGate)
+			fmt.Printf("stream gate ok: evidence identical, warm objective ≤ cold, %s speedup ≥ %gx\n",
+				*streamGateSolv, *streamGate)
 		}
+		// Benchstat-style warm-vs-cold iteration comparison, on stdout
+		// and in the CI job summary when one is collecting.
+		table := streamIterTable(streamRows)
+		fmt.Print(table)
+		appendStepSummary("### Warm vs cold iterations (streaming re-solves)\n\n```\n" + table + "```\n")
 	}
 
 	exitServe := 0
@@ -472,4 +483,39 @@ func solverNames(solvers []string) string {
 		return strings.Join(core.Names(), ",")
 	}
 	return strings.Join(solvers, ",")
+}
+
+// streamIterTable renders a benchstat-style before/after comparison of
+// the solver iteration counts behind the streaming speedups: the cold
+// solve on the final target vs the average warm re-solve.
+func streamIterTable(rows []bench.StreamResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-14s %12s %12s %8s\n", "scale", "solver", "cold iters", "warm iters", "ratio")
+	for _, r := range rows {
+		if r.Skipped != "" || r.Batches <= 0 {
+			continue
+		}
+		warmAvg := float64(r.WarmIterations) / float64(r.Batches)
+		ratio := "n/a"
+		if r.ColdIterations > 0 {
+			ratio = fmt.Sprintf("%.2fx", warmAvg/float64(r.ColdIterations))
+		}
+		fmt.Fprintf(&b, "%-5s %-14s %12d %12.1f %8s\n", r.Scale, r.Solver, r.ColdIterations, warmAvg, ratio)
+	}
+	return b.String()
+}
+
+// appendStepSummary appends markdown to the GitHub Actions job summary
+// when one is collecting ($GITHUB_STEP_SUMMARY); a no-op elsewhere.
+func appendStepSummary(md string) {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	f.WriteString(md)
 }

@@ -17,15 +17,15 @@ func TestRunStreamingS(t *testing.T) {
 	}
 	rows, err := RunStreaming(context.Background(), StreamOptions{
 		Scales:      []Spec{spec},
-		Solvers:     []string{"greedy", "collective"},
+		Solvers:     []string{"greedy", "collective", "collective-mm"},
 		Batches:     3,
 		Parallelism: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 {
-		t.Fatalf("rows = %d, want 2", len(rows))
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
 	}
 	for _, r := range rows {
 		if r.Skipped != "" {
@@ -44,15 +44,19 @@ func TestRunStreamingS(t *testing.T) {
 		if r.Speedup <= 0 {
 			t.Errorf("%s/%s: speedup %g not computed", r.Scale, r.Solver, r.Speedup)
 		}
+		if r.ColdIterations <= 0 || r.WarmIterations <= 0 {
+			t.Errorf("%s/%s: iteration counts not recorded (cold %d, warm %d)",
+				r.Scale, r.Solver, r.ColdIterations, r.WarmIterations)
+		}
 	}
 	// The equality gates pass; a huge speedup floor fails only the
-	// gated solver at the largest scale.
-	if err := CheckStreaming(rows, "greedy", 0); err != nil {
+	// gated solvers at the largest scale.
+	if err := CheckStreaming(rows, []string{"greedy", "collective"}, 0); err != nil {
 		t.Errorf("equality gates: %v", err)
 	}
-	if err := CheckStreaming(rows, "greedy", 1e9); err == nil {
+	if err := CheckStreaming(rows, []string{"greedy", "collective"}, 1e9); err == nil {
 		t.Error("absurd speedup gate passed")
-	} else if !strings.Contains(err.Error(), "greedy") {
+	} else if !strings.Contains(err.Error(), "greedy") && !strings.Contains(err.Error(), "collective") {
 		t.Errorf("speedup gate names the wrong row: %v", err)
 	}
 }
@@ -75,7 +79,7 @@ func TestRunStreamingUnknownSolver(t *testing.T) {
 		t.Fatalf("rows = %+v, want one skipped row", rows)
 	}
 	// Skipped rows do not trip the gates.
-	if err := CheckStreaming(rows, "greedy", 2); err != nil {
+	if err := CheckStreaming(rows, []string{"greedy"}, 2); err != nil {
 		t.Errorf("skipped row tripped a gate: %v", err)
 	}
 }

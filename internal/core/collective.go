@@ -49,6 +49,22 @@ type CollectiveSolver struct {
 // Name implements Solver.
 func (s CollectiveSolver) Name() string { return "collective" }
 
+// smallMRFFactors is the grounding size below which ADMM runs inline
+// regardless of the configured parallelism: the per-iteration barrier
+// costs of the worker pool exceed the parallel gain on groundings
+// this small, and iterates are bit-identical either way.
+const smallMRFFactors = 10000
+
+// warmEpsilonRel is the relative residual tolerance warm re-solves on
+// a retained grounding use (Boyd et al. §3.3). Cold solves polish to
+// the absolute Epsilon; an incremental re-solve only needs accuracy
+// on the scale of the append's perturbation — the rounded selection
+// stops changing orders of magnitude before the absolute threshold is
+// reached, and the streaming gates (warm objective ≡ cold objective,
+// differential evidence) verify exactly that. Without this, re-solves
+// spend half their iterations polishing digits rounding discards.
+const warmEpsilonRel = 1e-3
+
 // Solve implements Solver. Cancelling ctx aborts the ADMM loop at its
 // next iteration and returns ctx.Err(); an expired WithBudget instead
 // stops inference early and proceeds to rounding + repair on the
@@ -61,19 +77,27 @@ func (s CollectiveSolver) Solve(ctx context.Context, p *Problem, options ...Solv
 	start := time.Now()
 	n := p.NumCandidates()
 
+	// The direct-build path retains the ground MRF (and the last ADMM
+	// dual state) on the Problem: cold solves reuse the grounding
+	// as-is, and AppendTarget re-grounds only delta-dirty factors, so
+	// a streaming re-solve skips the whole grounding phase.
 	var mrf *psl.MRF
+	var g *grounding
+	var inVar []int
 	if s.UseRuleGrounding {
 		var err error
 		mrf, err = GroundSelectionMRF(p)
 		if err != nil {
 			return nil, err
 		}
+		inVar = make([]int, n)
+		for i := 0; i < n; i++ {
+			inVar[i] = mrf.AtomVar("In", fmt.Sprintf("m%d", i))
+		}
 	} else {
-		mrf = s.buildDirectMRF(p)
-	}
-	inVar := make([]int, n)
-	for i := 0; i < n; i++ {
-		inVar[i] = mrf.AtomVar("In", fmt.Sprintf("m%d", i))
+		g = p.directGrounding()
+		mrf = g.mrf
+		inVar = g.inVar
 	}
 
 	// Only the iteration cap gets a solver-specific default;
@@ -88,11 +112,19 @@ func (s CollectiveSolver) Solve(ctx context.Context, p *Problem, options ...Solv
 	}
 	if opts.Parallelism == 0 {
 		// WithParallelism(0) means GOMAXPROCS; ADMM iterates are
-		// bit-identical at every parallelism level, so defaulting to
-		// parallel inference never changes results.
-		opts.Parallelism = runtime.GOMAXPROCS(0)
-		if r.cfg.Parallelism > 0 {
-			opts.Parallelism = r.cfg.Parallelism
+		// bit-identical at every parallelism level, so the worker count
+		// is purely a scheduling choice and never changes results.
+		// Below ~10k factors the per-iteration pool barriers cost more
+		// than the parallel phases save (measured ~45µs/iter serial vs
+		// ~58µs at 4 workers on the M scenario), so small groundings
+		// solve inline; WithParallelism is a resource cap, not a floor.
+		if len(mrf.Potentials)+len(mrf.Constraints) < smallMRFFactors {
+			opts.Parallelism = 1
+		} else {
+			opts.Parallelism = runtime.GOMAXPROCS(0)
+			if r.cfg.Parallelism > 0 {
+				opts.Parallelism = r.cfg.Parallelism
+			}
 		}
 	}
 	if r.cfg.Progress != nil {
@@ -105,7 +137,32 @@ func (s CollectiveSolver) Solve(ctx context.Context, p *Problem, options ...Solv
 		}
 	}
 	if w := r.cfg.Warm; w != nil && len(opts.Initial) == 0 {
-		opts.Initial = warmInitial(p, mrf, inVar, w)
+		if g != nil {
+			opts.Initial = g.warmInitialFrom(p, w)
+			// Dual warm restart: resume from the retained state of the
+			// previous solve (delta-dirty slots were tombstoned or
+			// rescaled by AppendTarget). Deliberately NOT combined with
+			// residual balancing or over-relaxation: a warm restart
+			// leaves the dual residual near zero, which residual
+			// balancing misreads as a rho imbalance — it escalates rho
+			// and multiplies the iteration count several-fold on this
+			// problem class (and rho > 1 is measurably slower here even
+			// cold). Cold solves never take this path, so recorded
+			// baselines stay bit-identical.
+			if st := g.takeState(); st != nil {
+				opts.Warm = st
+			}
+			if opts.EpsilonRel == 0 {
+				opts.EpsilonRel = warmEpsilonRel
+			}
+		} else {
+			opts.Initial = warmInitial(p, mrf, inVar, w)
+		}
+	}
+	if g != nil {
+		// Always capture on the retained path so even a cold solve
+		// leaves duals behind for the first warm re-solve.
+		opts.CaptureState = true
 	}
 	// The soft budget becomes an inference deadline; the caller's ctx
 	// stays the hard stop.
@@ -130,6 +187,9 @@ func (s CollectiveSolver) Solve(ctx context.Context, p *Problem, options ...Solv
 		}
 		// Infeasibility at loose tolerance is survivable: rounding
 		// only needs the relative order of the In values.
+	}
+	if g != nil && sol != nil {
+		g.putState(sol.State)
 	}
 	relax := make([]float64, n)
 	for i := 0; i < n; i++ {
@@ -203,54 +263,13 @@ func warmInitial(p *Problem, mrf *psl.MRF, inVar []int, w *Selection) []float64 
 }
 
 // buildDirectMRF constructs the ground HL-MRF without going through
-// the rule grounder; see the type comment for the encoding.
+// the rule grounder; see the grounding type for the encoding and slot
+// layout. It always builds cold and never touches the Problem's
+// retained grounding, which makes it the reference the incremental
+// re-grounding differential tests compare against.
 func (s CollectiveSolver) buildDirectMRF(p *Problem) *psl.MRF {
-	n := p.NumCandidates()
-	mrf := psl.NewMRF()
-	inVar := make([]int, n)
-	for i := 0; i < n; i++ {
-		inVar[i] = mrf.AtomVar("In", fmt.Sprintf("m%d", i))
-	}
-	// Per-tuple explanation variables and their linking constraints,
-	// straight off the inverted incidence (tuple index ascending, so
-	// the ground MRF — and hence the ADMM trajectory — is
-	// reproducible). J tuples covered by no candidate contribute a
-	// constant w₁ and are omitted (Section III-C preprocessing).
-	inc := p.Incidence()
-	for j := 0; j < inc.NumTuples(); j++ {
-		cands, covs := inc.Row(j)
-		if len(cands) == 0 {
-			continue
-		}
-		ev := mrf.AtomVar("Explained", fmt.Sprintf("t%d", j))
-		// w₁ · max(0, 1 − Explained(t))
-		mrf.AddPotential(psl.Potential{
-			Weight: p.Weights.Explain,
-			Terms:  []psl.LinTerm{{Var: ev, Coef: -1}},
-			Const:  1,
-		})
-		// Explained(t) − Σ covers·In(θ) ≤ 0
-		terms := []psl.LinTerm{{Var: ev, Coef: 1}}
-		for k, i := range cands {
-			terms = append(terms, psl.LinTerm{Var: inVar[i], Coef: -covs[k]})
-		}
-		// AddConstraint only fails for constant constraints; this one
-		// always has at least the Explained term.
-		_ = mrf.AddConstraint(psl.Constraint{Terms: terms, Cmp: psl.LE})
-	}
-	// Selection priors: (w₂·errors + w₃·size) · In(θ).
-	for i := range p.analyses {
-		a := &p.analyses[i]
-		w := p.Weights.Error*a.Errors + p.Weights.Size*float64(a.Size)
-		if w <= 0 {
-			continue
-		}
-		mrf.AddPotential(psl.Potential{
-			Weight: w,
-			Terms:  []psl.LinTerm{{Var: inVar[i], Coef: 1}},
-		})
-	}
-	return mrf
+	p.Prepare()
+	return buildGrounding(p).mrf
 }
 
 // round converts the continuous relaxation to a boolean selection. By

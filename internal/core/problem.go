@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"schemamap/internal/cover"
@@ -87,6 +88,61 @@ type Problem struct {
 	mu         sync.Mutex
 	tracker    *cover.Tracker
 	iVer, jVer uint64
+
+	// groundMu guards ground, the retained direct-build HL-MRF the
+	// collective solvers share across solves and AppendTarget updates
+	// incrementally (see grounding).
+	groundMu sync.Mutex
+	ground   *grounding
+
+	// epoch counts the appends that changed already-prepared evidence
+	// (coverage rows, coverage values, or error counts) — i.e. the
+	// appends after which derived structures keyed on the evidence
+	// shape, like a shard split, must be recomputed. Pure uncovered
+	// growth does not bump it.
+	epoch atomic.Uint64
+
+	// splitMu guards the sharding layer's retained decomposition (an
+	// opaque artifact — core does not know the shard types). splitEpoch
+	// and splitTuples record the evidence epoch and tuple count the
+	// artifact was computed at; a pure uncovered append keeps the epoch
+	// but grows the tuple count, and invalidates the split too (the
+	// candidate-free shard changed).
+	splitMu     sync.Mutex
+	splitVal    any
+	splitEpoch  uint64
+	splitTuples int
+}
+
+// EvidenceEpoch returns the evidence-shape epoch: it changes exactly
+// when an AppendTarget altered coverage or error evidence (as opposed
+// to only appending uncovered tuples). Derived caches — the sharded
+// solver's component split — compare epochs to decide whether they can
+// be reused across a warm re-solve.
+func (p *Problem) EvidenceEpoch() uint64 { return p.epoch.Load() }
+
+// LoadSplitCache returns the retained sharding decomposition if it is
+// still valid — stored at the current evidence epoch AND tuple count —
+// and nil otherwise. The artifact's lifetime is tied to the Problem,
+// so a retained split never outlives the evidence it decomposes.
+func (p *Problem) LoadSplitCache() any {
+	p.splitMu.Lock()
+	defer p.splitMu.Unlock()
+	if p.splitVal == nil || p.splitEpoch != p.epoch.Load() || p.splitTuples != p.JIndex().Len() {
+		return nil
+	}
+	return p.splitVal
+}
+
+// StoreSplitCache retains a sharding decomposition computed against
+// the Problem's current evidence. The sharded solver populates it only
+// on warm re-solves, so one-shot cold solves never pay the retention.
+func (p *Problem) StoreSplitCache(v any) {
+	p.splitMu.Lock()
+	p.splitVal = v
+	p.splitEpoch = p.epoch.Load()
+	p.splitTuples = p.JIndex().Len()
+	p.splitMu.Unlock()
 }
 
 // NewProblem builds a problem with default weights and cover options.
@@ -182,6 +238,17 @@ func (p *Problem) AppendTarget(tuples []data.Tuple) (*TargetDelta, error) {
 			p.incidence = cover.BuildIncidence(p.jidx.Len(), p.analyses)
 		}
 	}
+	if len(delta.PairsChanged) > 0 || len(delta.ChangedTuples) > 0 || len(delta.ErrorsChanged) > 0 {
+		p.epoch.Add(1)
+	}
+	// Re-ground only the delta-dirty factors of the retained MRF; the
+	// rare transitions the slot surgery cannot express drop it (the
+	// next collective solve rebuilds cold).
+	p.groundMu.Lock()
+	if p.ground != nil && !p.ground.applyDelta(p, delta) {
+		p.ground = nil
+	}
+	p.groundMu.Unlock()
 	p.jVer = p.J.Version()
 	return delta, nil
 }

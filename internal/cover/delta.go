@@ -50,6 +50,13 @@ type trackedBlock struct {
 	// pairs is the block's current contribution: max coverage degree
 	// per J tuple over its partial homomorphisms, sparse and sorted.
 	pairs []CoverPair
+	// pats/reps cache the block's distinct tuple patterns with one
+	// representative tuple each (dirtiness is pattern-determined).
+	// Retained block tuples never change, so the cache is built on the
+	// first Append and reused by every later one — rebuilding these
+	// strings per append dominated the dirty-detection cost.
+	pats []string
+	reps []data.Tuple
 }
 
 // Tracker is the retained streaming state of one analysed candidate
@@ -65,8 +72,11 @@ type Tracker struct {
 	// candKeys lists each candidate's block keys, in block order.
 	candKeys [][]string
 	// errTuples lists each candidate's chase tuples currently lacking
-	// a homomorphic image in J (its creates errors).
+	// a homomorphic image in J (its creates errors); errPats caches
+	// their canonical patterns (computed lazily on the first Append and
+	// kept aligned as error tuples clear).
 	errTuples [][]data.Tuple
+	errPats   [][]string
 }
 
 // TrackerDelta reports what one Append changed, so downstream
@@ -139,15 +149,20 @@ func (t *Tracker) Append(delta []data.Tuple, analyses []Analysis, workers int) *
 	// 1. Dirty detection: a block must be re-enumerated iff one of its
 	// tuples can map onto an appended tuple (constant positions agree).
 	// Memoised per null-insensitive pattern — the candidate sets the
-	// index would return are pattern-determined.
+	// index would return are pattern-determined — with the delta
+	// grouped by relation so each probe scans only same-relation
+	// appends (MatchConstPositions fails across relations anyway).
+	deltaByRel := make(map[string][]data.Tuple)
+	for _, dt := range delta {
+		deltaByRel[dt.Rel] = append(deltaByRel[dt.Rel], dt)
+	}
 	patDirty := make(map[string]bool)
-	tupleDirty := func(bt data.Tuple) bool {
-		pat := bt.Pattern()
+	tupleDirty := func(pat string, bt data.Tuple) bool {
 		if v, ok := patDirty[pat]; ok {
 			return v
 		}
 		dirty := false
-		for _, dt := range delta {
+		for _, dt := range deltaByRel[bt.Rel] {
 			if data.MatchConstPositions(bt, dt) {
 				dirty = true
 				break
@@ -158,8 +173,11 @@ func (t *Tracker) Append(delta []data.Tuple, analyses []Analysis, workers int) *
 	}
 	var dirtyKeys []string
 	for key, tb := range t.blocks {
-		for _, bt := range tb.tuples {
-			if tupleDirty(bt) {
+		if tb.reps == nil {
+			tb.pats, tb.reps = distinctPatterns(tb.tuples)
+		}
+		for k, pat := range tb.pats {
+			if tupleDirty(pat, tb.reps[k]) {
 				dirtyKeys = append(dirtyKeys, key)
 				break
 			}
@@ -227,16 +245,17 @@ func (t *Tracker) Append(delta []data.Tuple, analyses []Analysis, workers int) *
 	sort.Slice(out.ChangedTuples, func(a, b int) bool { return out.ChangedTuples[a] < out.ChangedTuples[b] })
 
 	// 4. Errors: a chase tuple still erroring stops iff it maps onto an
-	// appended tuple; probe the delta directly, memoised per canonical
-	// pattern (the verdict is null-renaming invariant).
+	// appended tuple; probe the delta (same-relation entries only),
+	// memoised per canonical pattern (the verdict is null-renaming
+	// invariant). The patterns are cached across appends — an error
+	// tuple keeps its pattern for as long as it stays an error.
 	embDelta := make(map[string]bool)
-	mapsToDelta := func(ct data.Tuple) bool {
-		pat := ct.CanonPattern()
+	mapsToDelta := func(pat string, ct data.Tuple) bool {
 		if v, ok := embDelta[pat]; ok {
 			return v
 		}
 		ok := false
-		for _, dt := range delta {
+		for _, dt := range deltaByRel[ct.Rel] {
 			if data.TupleMapsTo(ct, dt) {
 				ok = true
 				break
@@ -245,20 +264,52 @@ func (t *Tracker) Append(delta []data.Tuple, analyses []Analysis, workers int) *
 		embDelta[pat] = ok
 		return ok
 	}
+	if t.errPats == nil {
+		t.errPats = make([][]string, len(t.errTuples))
+	}
 	for i, errs := range t.errTuples {
+		pats := t.errPats[i]
+		if pats == nil && len(errs) > 0 {
+			pats = make([]string, len(errs))
+			for k, ct := range errs {
+				pats[k] = ct.CanonPattern()
+			}
+			t.errPats[i] = pats
+		}
 		kept := errs[:0]
-		for _, ct := range errs {
-			if !mapsToDelta(ct) {
+		keptPats := pats[:0]
+		for k, ct := range errs {
+			if !mapsToDelta(pats[k], ct) {
 				kept = append(kept, ct)
+				keptPats = append(keptPats, pats[k])
 			}
 		}
 		if len(kept) != len(errs) {
 			t.errTuples[i] = kept
+			t.errPats[i] = keptPats
 			analyses[i].Errors = float64(len(kept))
 			out.ErrorsChanged = append(out.ErrorsChanged, int32(i))
 		}
 	}
 	return out
+}
+
+// distinctPatterns returns the distinct null-insensitive patterns of
+// a block's tuples with one representative tuple per pattern.
+func distinctPatterns(tuples []data.Tuple) (pats []string, reps []data.Tuple) {
+	pats = make([]string, 0, len(tuples))
+	reps = make([]data.Tuple, 0, len(tuples))
+	seen := make(map[string]struct{}, len(tuples))
+	for _, bt := range tuples {
+		pat := bt.Pattern()
+		if _, ok := seen[pat]; ok {
+			continue
+		}
+		seen[pat] = struct{}{}
+		pats = append(pats, pat)
+		reps = append(reps, bt)
+	}
+	return pats, reps
 }
 
 // pairsEqual reports exact equality of two sparse cover rows.

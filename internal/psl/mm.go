@@ -1,0 +1,388 @@
+package psl
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MMOptions configure SolveMAPMM, the majorize-minimize alternative to
+// ADMM for MAP inference.
+type MMOptions struct {
+	// MaxSweeps bounds the total number of coordinate sweeps across
+	// all penalty rounds (default 10000).
+	MaxSweeps int
+	// Epsilon declares a penalty round converged when no coordinate
+	// moved more than this in a sweep (default 1e-5).
+	Epsilon float64
+	// Delta is the Huber floor of the linear-hinge majorizer: the
+	// curvature of the surrogate at an activation t₀ is w/(4·max(|t₀|,
+	// Delta)), so Delta bounds it away from infinity at the kink
+	// (default 1e-3; smaller is more exact near kinks but slows the
+	// MM tail roughly in proportion). The solver descends the
+	// Delta-smoothed objective, which coincides with the true hinge
+	// outside (−Delta, Delta).
+	Delta float64
+	// Penalty is the initial weight of the squared penalty replacing
+	// each hard constraint (default 16·(1 + max potential weight)).
+	Penalty float64
+	// PenaltyGrowth multiplies Penalty after a round that converged
+	// infeasible (default 8).
+	PenaltyGrowth float64
+	// PenaltyRounds bounds the escalation rounds (default 6).
+	PenaltyRounds int
+	// FeasTol is the constraint violation below which a converged
+	// round is accepted (default 5e-4).
+	FeasTol float64
+	// Seed, when non-zero, perturbs the initial point around 0.5
+	// exactly like ADMMOptions.Seed.
+	Seed int64
+	// Initial, when non-nil, is the starting point (clamped to [0,1]);
+	// its length must equal the MRF's variable count or SolveMAPMM
+	// returns an error. The penalized objective is convex, so a warm
+	// start changes the sweep count, never the optimum.
+	Initial []float64
+	// Progress, when non-nil, is called every progressEvery sweeps
+	// with the cumulative sweep count.
+	Progress func(sweep int)
+}
+
+// DefaultMMOptions returns the defaults used across the repo.
+func DefaultMMOptions() MMOptions {
+	return MMOptions{MaxSweeps: 10000, Epsilon: 1e-5}
+}
+
+// mmFactor flattens one potential or penalized constraint for the
+// sweep loop: activation t = Σ coefs·x[vars] + konst, duplicate
+// variables merged so a coordinate update owns its full gradient.
+type mmFactor struct {
+	vars    []int32
+	coefs   []float64
+	konst   float64
+	weight  float64 // potential weight, or the EQ/LE marker for constraints
+	squared bool
+	isCons  bool
+	isEQ    bool
+	t       float64 // current activation, maintained incrementally
+	omega   float64 // surrogate curvature for the current sweep
+	center  float64 // surrogate center: q(t) = omega·(t − center)²
+}
+
+// SolveMAPMM runs a majorize-minimize solver on the MRF and returns
+// the MAP state. Each sweep majorizes every hinge by a quadratic
+// touching it at the current activation (the Huberized linear hinge by
+// w·(t+s₀)²/(4s₀) with s₀ = max(|t₀|, Delta), the squared hinge by
+// w·t² on the active side and w·(t−t₀)² on the inactive side) and then
+// minimizes the separable surrogate coordinate-wise in closed form
+// with box projection — so the smoothed objective descends
+// monotonically from any warm point. Hard constraints enter as squared
+// penalties escalated geometrically until the converged point is
+// feasible within FeasTol.
+//
+// The solve is serial and deterministic: sweeps visit variables in
+// ascending index order, so a fixed (MRF, options) pair always yields
+// the same iterates. Like SolveMAPContext it returns the partial
+// Solution alongside ctx.Err() on cancellation and alongside a
+// descriptive error when the final point is infeasible at the 1e-3
+// reporting tolerance.
+func SolveMAPMM(ctx context.Context, m *MRF, opts MMOptions) (*Solution, error) {
+	if opts.MaxSweeps <= 0 {
+		opts.MaxSweeps = 10000
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 1e-5
+	}
+	if opts.Delta <= 0 {
+		opts.Delta = 1e-3
+	}
+	if opts.PenaltyGrowth <= 1 {
+		opts.PenaltyGrowth = 8
+	}
+	if opts.PenaltyRounds <= 0 {
+		opts.PenaltyRounds = 6
+	}
+	if opts.FeasTol <= 0 {
+		opts.FeasTol = 5e-4
+	}
+	n := m.NumVars()
+	if opts.Initial != nil && len(opts.Initial) != n {
+		return nil, fmt.Errorf("psl: MMOptions.Initial has %d values but the MRF has %d variables", len(opts.Initial), n)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.5
+	}
+	if opts.Seed != 0 {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		for i := range x {
+			x[i] = 0.45 + 0.1*rng.Float64()
+		}
+	}
+	if opts.Initial != nil {
+		for i, v := range opts.Initial {
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			x[i] = v
+		}
+	}
+	factors, maxW := buildMMFactors(m)
+	if len(factors) == 0 {
+		return &Solution{X: x, Objective: 0, Converged: true, mrf: m}, nil
+	}
+	penalty := opts.Penalty
+	if penalty <= 0 {
+		penalty = 16 * (1 + maxW)
+	}
+
+	// Variable-incidence CSR over the merged terms: for each variable,
+	// the (factor, term-slot) pairs touching it.
+	count := make([]int32, n)
+	total := 0
+	for _, f := range factors {
+		for _, v := range f.vars {
+			count[v]++
+			total++
+		}
+	}
+	incOff := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		incOff[v+1] = incOff[v] + count[v]
+	}
+	incFactor := make([]int32, total)
+	incSlot := make([]int32, total)
+	cursor := make([]int32, n)
+	copy(cursor, incOff[:n])
+	for fi, f := range factors {
+		for k, v := range f.vars {
+			c := cursor[v]
+			incFactor[c] = int32(fi)
+			incSlot[c] = int32(k)
+			cursor[v] = c + 1
+		}
+	}
+
+	resync := func() {
+		for i := range factors {
+			f := &factors[i]
+			t := f.konst
+			for k, v := range f.vars {
+				t += f.coefs[k] * x[v]
+			}
+			f.t = t
+		}
+	}
+
+	sweeps := 0
+	converged := false
+	hasCons := false
+	for i := range factors {
+		if factors[i].isCons {
+			hasCons = true
+			break
+		}
+	}
+	for round := 0; round < opts.PenaltyRounds; round++ {
+		// Re-anchor the activations at round boundaries so incremental
+		// maintenance cannot drift across thousands of sweeps.
+		resync()
+		roundDone := false
+		for sweeps < opts.MaxSweeps {
+			select {
+			case <-ctx.Done():
+				sol := &Solution{X: x, Objective: m.Objective(x), Iterations: sweeps, mrf: m}
+				return sol, ctx.Err()
+			default:
+			}
+			if opts.Progress != nil && sweeps%progressEvery == 0 {
+				opts.Progress(sweeps)
+			}
+			// Majorize: pick each factor's quadratic surrogate at its
+			// current activation.
+			for i := range factors {
+				f := &factors[i]
+				w := f.weight
+				if f.isCons {
+					w = penalty
+				}
+				switch {
+				case f.isCons && f.isEQ:
+					f.omega, f.center = w, 0
+				case f.squared || f.isCons:
+					if f.t > 0 {
+						f.omega, f.center = w, 0
+					} else {
+						f.omega, f.center = w, f.t
+					}
+				default:
+					s0 := math.Abs(f.t)
+					if s0 < opts.Delta {
+						s0 = opts.Delta
+					}
+					f.omega, f.center = w/(4*s0), -s0
+				}
+			}
+			// Minimize: one closed-form box-projected coordinate pass.
+			maxMove := 0.0
+			for v := 0; v < n; v++ {
+				if count[v] == 0 {
+					continue
+				}
+				num, den := 0.0, 0.0
+				xv := x[v]
+				for i := incOff[v]; i < incOff[v+1]; i++ {
+					f := &factors[incFactor[i]]
+					a := f.coefs[incSlot[i]]
+					// rest = t − a·x_v is the activation with x_v removed.
+					num += f.omega * a * (f.center - f.t + a*xv)
+					den += f.omega * a * a
+				}
+				if den == 0 {
+					continue
+				}
+				nx := num / den
+				if nx < 0 {
+					nx = 0
+				}
+				if nx > 1 {
+					nx = 1
+				}
+				dx := nx - xv
+				if dx == 0 {
+					continue
+				}
+				if d := math.Abs(dx); d > maxMove {
+					maxMove = d
+				}
+				x[v] = nx
+				for i := incOff[v]; i < incOff[v+1]; i++ {
+					f := &factors[incFactor[i]]
+					f.t += f.coefs[incSlot[i]] * dx
+				}
+			}
+			sweeps++
+			if maxMove < opts.Epsilon {
+				roundDone = true
+				break
+			}
+		}
+		if !roundDone {
+			break // sweep budget exhausted mid-round
+		}
+		if !hasCons || maxViolation(m, x) <= opts.FeasTol {
+			converged = true
+			break
+		}
+		penalty *= opts.PenaltyGrowth
+	}
+	sol := &Solution{
+		X:          x,
+		Objective:  m.Objective(x),
+		Iterations: sweeps,
+		Converged:  converged,
+		mrf:        m,
+	}
+	if !m.Feasible(x, 1e-3) {
+		return sol, fmt.Errorf("psl: MM finished with infeasible constraints (sweeps=%d, violation=%g)", sweeps, maxViolation(m, x))
+	}
+	return sol, nil
+}
+
+// buildMMFactors flattens potentials and constraints, merging
+// duplicate variables within a factor (coordinate updates assume each
+// variable owns exactly one term per factor). Returns the factors and
+// the maximum potential weight (for the default penalty).
+func buildMMFactors(m *MRF) ([]mmFactor, float64) {
+	factors := make([]mmFactor, 0, len(m.Potentials)+len(m.Constraints))
+	maxW := 0.0
+	add := func(terms []LinTerm, konst float64) *mmFactor {
+		factors = append(factors, mmFactor{konst: konst})
+		f := &factors[len(factors)-1]
+		for _, t := range terms {
+			merged := false
+			for k, v := range f.vars {
+				if int(v) == t.Var {
+					f.coefs[k] += t.Coef
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				f.vars = append(f.vars, int32(t.Var))
+				f.coefs = append(f.coefs, t.Coef)
+			}
+		}
+		return f
+	}
+	for _, p := range m.Potentials {
+		f := add(p.Terms, p.Const)
+		f.weight = p.Weight
+		f.squared = p.Squared
+		if p.Weight > maxW {
+			maxW = p.Weight
+		}
+	}
+	for _, c := range m.Constraints {
+		f := add(c.Terms, c.Const)
+		f.isCons = true
+		f.isEQ = c.Cmp == EQ
+	}
+	return factors, maxW
+}
+
+// maxViolation returns the largest hard-constraint violation at x.
+func maxViolation(m *MRF, x []float64) float64 {
+	worst := 0.0
+	for _, c := range m.Constraints {
+		v := c.Const
+		for _, t := range c.Terms {
+			v += t.Coef * x[t.Var]
+		}
+		if c.Cmp == EQ {
+			v = math.Abs(v)
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// smoothedPenalizedObjective is the function one MM round descends:
+// Delta-Huberized potentials plus the squared constraint penalties at
+// the given penalty weight. Exposed for the monotone-descent test.
+func smoothedPenalizedObjective(m *MRF, x []float64, delta, penalty float64) float64 {
+	total := 0.0
+	for _, p := range m.Potentials {
+		t := p.Const
+		for _, lt := range p.Terms {
+			t += lt.Coef * x[lt.Var]
+		}
+		switch {
+		case p.Squared:
+			if t > 0 {
+				total += p.Weight * t * t
+			}
+		case t >= delta:
+			total += p.Weight * t
+		case t > -delta:
+			total += p.Weight * (t + delta) * (t + delta) / (4 * delta)
+		}
+	}
+	for _, c := range m.Constraints {
+		t := c.Const
+		for _, lt := range c.Terms {
+			t += lt.Coef * x[lt.Var]
+		}
+		if c.Cmp == EQ {
+			total += penalty * t * t
+		} else if t > 0 {
+			total += penalty * t * t
+		}
+	}
+	return total
+}

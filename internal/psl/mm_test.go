@@ -1,0 +1,141 @@
+package psl
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestMMMatchesADMM: the MAP problem is convex, so the MM solver must
+// land on the same objective as ADMM (up to the penalty method's
+// FeasTol slack on constrained programs).
+func TestMMMatchesADMM(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    func() *MRF
+	}{
+		{"small", warmTestMRF},
+		{"chain", func() *MRF { return benchMRF(150) }},
+		{"random", func() *MRF { return randomMRF(100, 400, 3) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			admm, err := SolveMAP(tc.m(), DefaultADMMOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			mm, err := SolveMAPMM(context.Background(), tc.m(), DefaultMMOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !mm.Converged {
+				t.Errorf("MM did not converge in %d sweeps", mm.Iterations)
+			}
+			tol := 2e-3 * (1 + math.Abs(admm.Objective))
+			if math.Abs(mm.Objective-admm.Objective) > tol {
+				t.Errorf("MM objective %v, ADMM %v (tol %g)", mm.Objective, admm.Objective, tol)
+			}
+			if !tc.m().Feasible(mm.X, 1e-3) {
+				t.Error("MM solution infeasible at 1e-3")
+			}
+		})
+	}
+}
+
+// TestMMMonotoneDescent: the defining MM property. Runs the same
+// deterministic trajectory with growing sweep budgets on an
+// unconstrained MRF (a single penalty round, so the smoothed objective
+// is the same function throughout) and asserts it never increases.
+func TestMMMonotoneDescent(t *testing.T) {
+	m := func() *MRF {
+		r := randomMRF(60, 250, 17)
+		r.Constraints = nil
+		return r
+	}
+	opts := DefaultMMOptions()
+	prev := math.Inf(1)
+	for budget := 1; budget <= 40; budget++ {
+		o := opts
+		o.MaxSweeps = budget
+		sol, err := SolveMAPMM(context.Background(), m(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj := smoothedPenalizedObjective(m(), sol.X, 1e-3, 0)
+		if obj > prev+1e-12 {
+			t.Fatalf("smoothed objective rose from %v to %v at sweep budget %d", prev, obj, budget)
+		}
+		prev = obj
+	}
+}
+
+// TestMMWarmStart: warm-started from the ADMM optimum, MM needs only a
+// handful of sweeps to certify convergence and must not move the
+// objective.
+func TestMMWarmStart(t *testing.T) {
+	m := func() *MRF { return randomMRF(100, 400, 9) }
+	admm, err := SolveMAP(m(), DefaultADMMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := SolveMAPMM(context.Background(), m(), DefaultMMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOpts := DefaultMMOptions()
+	warmOpts.Initial = admm.X
+	warm, err := SolveMAPMM(context.Background(), m(), warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Errorf("warm MM took %d sweeps, cold took %d", warm.Iterations, cold.Iterations)
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-3*(1+math.Abs(cold.Objective)) {
+		t.Errorf("warm objective %v, cold %v", warm.Objective, cold.Objective)
+	}
+}
+
+// TestMMDeterministic: a fixed (MRF, options) pair yields bit-identical
+// iterates — the property the quality baseline gate relies on.
+func TestMMDeterministic(t *testing.T) {
+	opts := DefaultMMOptions()
+	opts.Seed = 42
+	a, errA := SolveMAPMM(context.Background(), randomMRF(80, 300, 7), opts)
+	b, errB := SolveMAPMM(context.Background(), randomMRF(80, 300, 7), opts)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("errors diverged: %v vs %v", errA, errB)
+	}
+	if a.Iterations != b.Iterations || a.Objective != b.Objective {
+		t.Fatalf("runs diverged: (obj=%v, sweeps=%d) vs (obj=%v, sweeps=%d)",
+			a.Objective, a.Iterations, b.Objective, b.Iterations)
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatalf("X[%d] = %v vs %v", i, a.X[i], b.X[i])
+		}
+	}
+}
+
+// TestMMInitialWrongLength mirrors the ADMM bugfix: a wrong-length
+// Initial is a caller bug, not something to silently ignore.
+func TestMMInitialWrongLength(t *testing.T) {
+	opts := DefaultMMOptions()
+	opts.Initial = []float64{0.5}
+	if _, err := SolveMAPMM(context.Background(), warmTestMRF(), opts); err == nil {
+		t.Fatal("wrong-length Initial: want error, got nil")
+	}
+}
+
+// TestMMCancellation: a cancelled context returns the partial iterate
+// with ctx.Err(), matching SolveMAPContext.
+func TestMMCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := SolveMAPMM(ctx, randomMRF(50, 200, 1), DefaultMMOptions())
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if sol == nil || len(sol.X) == 0 {
+		t.Fatal("cancelled solve must still return the partial iterate")
+	}
+}

@@ -1,0 +1,188 @@
+package psl
+
+import (
+	"math"
+	"testing"
+)
+
+// TestADMMWarmStateResume is the core promise of the state surface: a
+// re-solve of the same MRF warm-restarted from a captured state is a
+// near-no-op — the first iterate already satisfies the residual check,
+// so it converges in a tiny fraction of the cold iteration count at
+// the same objective.
+func TestADMMWarmStateResume(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    func() *MRF
+	}{
+		{"small", warmTestMRF},
+		{"random", func() *MRF { return randomMRF(120, 500, 11) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := DefaultADMMOptions()
+			opts.CaptureState = true
+			cold, err := SolveMAP(tc.m(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cold.State == nil {
+				t.Fatal("CaptureState set but Solution.State is nil")
+			}
+			warmOpts := opts
+			warmOpts.Warm = cold.State
+			warm, err := SolveMAP(tc.m(), warmOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			budget := cold.Iterations / 10
+			if budget < 2 {
+				budget = 2
+			}
+			if warm.Iterations > budget {
+				t.Errorf("warm resume took %d iterations, cold took %d (budget %d)",
+					warm.Iterations, cold.Iterations, budget)
+			}
+			if math.Abs(warm.Objective-cold.Objective) > 1e-6 {
+				t.Errorf("warm objective %v, cold %v", warm.Objective, cold.Objective)
+			}
+		})
+	}
+}
+
+// TestADMMWarmStateGrownMRF restores a state captured on a smaller MRF
+// into a grown one: overlapping variables and untouched factor slots
+// resume from the captured values, appended ones start cold, and the
+// solve still reaches the grown problem's optimum.
+func TestADMMWarmStateGrownMRF(t *testing.T) {
+	build := func(grown bool) *MRF {
+		m := warmTestMRF()
+		if grown {
+			d := m.Var("d")
+			m.AddPotential(Potential{Weight: 1, Terms: []LinTerm{{Var: d, Coef: -1}}, Const: 0.5})
+			_ = m.AddConstraint(Constraint{Terms: []LinTerm{{Var: 2, Coef: 1}, {Var: d, Coef: -1}}, Cmp: LE})
+		}
+		return m
+	}
+	opts := DefaultADMMOptions()
+	opts.CaptureState = true
+	small, err := SolveMAP(build(false), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldGrown, err := SolveMAP(build(true), DefaultADMMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOpts := DefaultADMMOptions()
+	warmOpts.Warm = small.State
+	warmGrown, err := SolveMAP(build(true), warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warmGrown.Objective-coldGrown.Objective) > 1e-5 {
+		t.Errorf("grown warm objective %v, cold %v", warmGrown.Objective, coldGrown.Objective)
+	}
+}
+
+// TestADMMWarmStateInvalidatedSlots nils out dual slots (the
+// invalidation convention incremental re-grounding uses for rebuilt
+// factors) and length-mismatches another; the solve must skip them and
+// still reach the optimum.
+func TestADMMWarmStateInvalidatedSlots(t *testing.T) {
+	opts := DefaultADMMOptions()
+	opts.CaptureState = true
+	cold, err := SolveMAP(warmTestMRF(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cold.State
+	st.PotU[0] = nil
+	st.PotU[1] = st.PotU[1][:1] // length mismatch: must be skipped, not crash
+	if len(st.ConsU) > 0 {
+		st.ConsU[0] = nil
+	}
+	warmOpts := DefaultADMMOptions()
+	warmOpts.Warm = st
+	warm, err := SolveMAP(warmTestMRF(), warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-5 {
+		t.Errorf("invalidated-slot warm objective %v, cold %v", warm.Objective, cold.Objective)
+	}
+}
+
+// TestADMMAdaptiveRhoConvergence: residual balancing and
+// over-relaxation change the trajectory, not the optimum — both must
+// land on the fixed-rho objective (the problem is convex).
+func TestADMMAdaptiveRhoConvergence(t *testing.T) {
+	m := func() *MRF { return randomMRF(100, 400, 5) }
+	base := DefaultADMMOptions()
+	base.MaxIterations = 20000
+	fixed, err := SolveMAP(m(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		mod  func(*ADMMOptions)
+	}{
+		{"adaptive-rho", func(o *ADMMOptions) { o.AdaptiveRho = true }},
+		{"alpha-1.6", func(o *ADMMOptions) { o.Alpha = 1.6 }},
+		{"adaptive+alpha", func(o *ADMMOptions) { o.AdaptiveRho = true; o.Alpha = 1.6 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := base
+			tc.mod(&opts)
+			got, err := SolveMAP(m(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tol := 1e-4 * (1 + math.Abs(fixed.Objective))
+			if math.Abs(got.Objective-fixed.Objective) > tol {
+				t.Errorf("objective %v, fixed-rho %v (tol %g)", got.Objective, fixed.Objective, tol)
+			}
+		})
+	}
+}
+
+// TestADMMAdaptiveSerialParallelIdentity extends the bit-identity
+// guarantee to the new trajectory knobs: the adaptive-rho and
+// over-relaxed paths are chunk-deterministic too.
+func TestADMMAdaptiveSerialParallelIdentity(t *testing.T) {
+	opts := DefaultADMMOptions()
+	opts.MaxIterations = 600
+	opts.AdaptiveRho = true
+	opts.Alpha = 1.6
+	opts.Parallelism = 1
+	serial, serialErr := SolveMAP(randomMRF(150, 600, 42), opts)
+	for _, par := range []int{2, 5} {
+		o := opts
+		o.Parallelism = par
+		got, gotErr := SolveMAP(randomMRF(150, 600, 42), o)
+		if (serialErr == nil) != (gotErr == nil) {
+			t.Fatalf("parallelism %d: err %v, serial err %v", par, gotErr, serialErr)
+		}
+		if got.Iterations != serial.Iterations || got.Objective != serial.Objective {
+			t.Fatalf("parallelism %d: (obj=%v, iter=%d) vs serial (obj=%v, iter=%d)",
+				par, got.Objective, got.Iterations, serial.Objective, serial.Iterations)
+		}
+		for i := range got.X {
+			if got.X[i] != serial.X[i] {
+				t.Fatalf("parallelism %d: X[%d]=%v, serial %v", par, i, got.X[i], serial.X[i])
+			}
+		}
+	}
+}
+
+// TestADMMAlphaOutOfRange: over-relaxation outside (0,2) diverges, so
+// it is rejected up front.
+func TestADMMAlphaOutOfRange(t *testing.T) {
+	for _, alpha := range []float64{-0.5, 2, 2.5} {
+		opts := DefaultADMMOptions()
+		opts.Alpha = alpha
+		if _, err := SolveMAP(warmTestMRF(), opts); err == nil {
+			t.Errorf("Alpha=%v: want error, got nil", alpha)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package psl
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -53,11 +54,19 @@ func TestADMMInitialPoint(t *testing.T) {
 	if math.Abs(sol.Objective-cold.Objective) > 1e-5 {
 		t.Errorf("clamped-initial objective %v, cold %v", sol.Objective, cold.Objective)
 	}
-	// A wrong-length Initial is ignored (falls back to the default
-	// start) rather than panicking.
+	// A wrong-length Initial is a caller bug — silently falling back
+	// to the default start used to hide broken warm-start plumbing, so
+	// it is now a descriptive error.
 	badOpts := opts
 	badOpts.Initial = []float64{0.1}
-	if _, err := SolveMAP(warmTestMRF(), badOpts); err != nil {
-		t.Fatalf("wrong-length Initial: %v", err)
+	sol, err = SolveMAP(warmTestMRF(), badOpts)
+	if err == nil {
+		t.Fatal("wrong-length Initial: want error, got nil")
+	}
+	if sol != nil {
+		t.Fatalf("wrong-length Initial: want nil solution, got %+v", sol)
+	}
+	if !strings.Contains(err.Error(), "Initial") || !strings.Contains(err.Error(), "variables") {
+		t.Errorf("wrong-length Initial: undescriptive error %q", err)
 	}
 }

@@ -83,7 +83,26 @@ func (s Solver) Solve(ctx context.Context, p *core.Problem, options ...core.Solv
 		deadline = start.Add(cfg.Budget)
 	}
 
-	shards := SplitN(p, cfg.Parallelism)
+	// Warm re-solves reuse the previous decomposition when the evidence
+	// shape is unchanged (same epoch, same tuple count): the cached
+	// shard subproblems then also carry their retained groundings and
+	// ADMM dual states, so the inner warm restarts actually fire. Any
+	// evidence change — a coverage-altering append bumps the epoch, a
+	// pure uncovered append grows the tuple count — forces a fresh
+	// Split. Cold solves never populate the cache, so one-shot solves
+	// (the L/XL throughput path) pay no retention.
+	var shards []Shard
+	if cfg.Warm != nil {
+		if v, ok := p.LoadSplitCache().([]Shard); ok {
+			shards = v
+		}
+	}
+	if shards == nil {
+		shards = SplitN(p, cfg.Parallelism)
+		if cfg.Warm != nil {
+			p.StoreSplitCache(shards)
+		}
+	}
 
 	workers := cfg.Parallelism
 	if workers <= 0 {

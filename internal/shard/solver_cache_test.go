@@ -1,0 +1,118 @@
+package shard_test
+
+import (
+	"context"
+	"testing"
+
+	"schemamap/internal/core"
+	"schemamap/internal/data"
+	"schemamap/internal/ibench"
+	"schemamap/internal/shard"
+)
+
+// countTuples sums the tuples across a decomposition's shards.
+func countTuples(shards []shard.Shard) int {
+	n := 0
+	for _, sh := range shards {
+		n += len(sh.Tuples)
+	}
+	return n
+}
+
+// Warm re-solves must reuse the retained decomposition while the
+// evidence shape is unchanged, and recompute it after any append that
+// alters it — a coverage-changing append (epoch bump) or a pure
+// uncovered append (tuple-count growth). Cold solves must not populate
+// the cache at all.
+func TestSplitCacheAcrossWarmResolves(t *testing.T) {
+	sc, err := ibench.Generate(noisyConfig(7, 10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := sc.J.All()
+	initial := data.NewInstance()
+	for _, tp := range all[:len(all)-3] {
+		initial.Add(tp)
+	}
+	p := core.NewProblem(sc.I, initial, sc.Candidates)
+	p.PrepareStreaming(0)
+
+	ctx := context.Background()
+	s := shard.Solver{Inner: "greedy", TinyCap: -1}
+
+	cold, err := s.Solve(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LoadSplitCache() != nil {
+		t.Fatal("cold solve populated the split cache")
+	}
+
+	warm1, err := s.Solve(ctx, p, core.WithWarmStart(cold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, ok := p.LoadSplitCache().([]shard.Shard)
+	if !ok || len(v1) == 0 {
+		t.Fatalf("warm solve did not retain the split (cache = %T)", p.LoadSplitCache())
+	}
+
+	// Unchanged evidence: the next warm re-solve reuses the retained
+	// slice (the store only happens on a fresh Split).
+	if _, err := s.Solve(ctx, p, core.WithWarmStart(warm1)); err != nil {
+		t.Fatal(err)
+	}
+	v2 := p.LoadSplitCache().([]shard.Shard)
+	if &v1[0] != &v2[0] {
+		t.Fatal("warm re-solve on unchanged evidence rebuilt the split")
+	}
+
+	// A pure uncovered append keeps the epoch but grows the tuple
+	// count: the candidate partition is unchanged, yet the
+	// candidate-free shard is not, so the cache must invalidate.
+	epoch := p.EvidenceEpoch()
+	if _, err := p.AppendTarget([]data.Tuple{data.NewTuple("alien", "a", "b")}); err != nil {
+		t.Fatal(err)
+	}
+	if p.EvidenceEpoch() != epoch {
+		t.Fatal("uncovered append bumped the evidence epoch")
+	}
+	if p.LoadSplitCache() != nil {
+		t.Fatal("split cache survived an uncovered append")
+	}
+	warm2, err := s.Solve(ctx, p, core.WithWarmStart(warm1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3 := p.LoadSplitCache().([]shard.Shard)
+	if got, want := countTuples(v3), p.JIndex().Len(); got != want {
+		t.Fatalf("refreshed split spans %d tuples, problem has %d", got, want)
+	}
+
+	// A coverage-changing append bumps the epoch and invalidates too.
+	if _, err := p.AppendTarget(all[len(all)-3:]); err != nil {
+		t.Fatal(err)
+	}
+	if p.EvidenceEpoch() == epoch {
+		t.Skip("held-back tuples produced no coverage change in this scenario")
+	}
+	if p.LoadSplitCache() != nil {
+		t.Fatal("split cache survived a coverage-changing append")
+	}
+	warm3, err := s.Solve(ctx, p, core.WithWarmStart(warm2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The warm sharded result on the grown problem must equal the
+	// unsharded inner solver's (sharding with TinyCap -1 is
+	// bit-identical to unsharded greedy).
+	flat, err := core.MustGet("greedy").Solve(ctx, p, core.WithWarmStart(warm2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(warm3.Objective.Total(), flat.Objective.Total()) {
+		t.Fatalf("warm sharded objective %v != unsharded %v",
+			warm3.Objective.Total(), flat.Objective.Total())
+	}
+}

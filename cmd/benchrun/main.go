@@ -36,6 +36,13 @@
 //	-stream-gate-solvers comma list of solvers the -stream-gate floor
 //	                     applies to (default greedy,collective; other
 //	                     streamed solvers are recorded ungated)
+//	-churn               also run the lifecycle-churn benchmark:
+//	                     interleaved AppendTarget / RemoveTarget /
+//	                     AddCandidates steps with warm re-solves,
+//	                     recorded into BENCH_*.json and gated on a
+//	                     per-step evidence differential (zero drift vs
+//	                     a cold Prepare) and warm ≤ cold objectives
+//	-churn-steps N       mutation steps per churn run (default 6)
 //	-serve               also run the serving benchmark: boot the
 //	                     session server (internal/serve) and drive it
 //	                     with concurrent sessions (named-corpus creates
@@ -121,6 +128,8 @@ func run() int {
 		streamBatches   = flag.Int("stream-batches", 8, "append batches per streaming run")
 		streamGate      = flag.Float64("stream-gate", 2, "minimum warm-vs-cold speedup for the gated solver rows at the largest streamed scale (0 disables; evidence/objective equality is always gated)")
 		streamGateSolv  = flag.String("stream-gate-solvers", "greedy,collective", "comma list of solvers the -stream-gate speedup floor applies to")
+		runChurn        = flag.Bool("churn", false, "also run the lifecycle-churn benchmark (interleaved appends/removals/candidate adds with warm re-solves) on the selected scales")
+		churnSteps      = flag.Int("churn-steps", 6, "mutation steps per churn run")
 		runServe        = flag.Bool("serve", false, "also run the serving benchmark: concurrent sessions against the session server, p50/p99 rows recorded and gated")
 		serveSessions   = flag.Int("serve-sessions", 120, "concurrent sessions per serve scale")
 		serveBatches    = flag.Int("serve-batches", 4, "append batches per streaming serve session")
@@ -214,6 +223,35 @@ func run() int {
 		table := streamIterTable(streamRows)
 		fmt.Print(table)
 		appendStepSummary("### Warm vs cold iterations (streaming re-solves)\n\n```\n" + table + "```\n")
+	}
+
+	exitChurn := 0
+	var churnRows []bench.ChurnResult
+	if *runChurn {
+		cscales := scales
+		if len(cscales) == 0 {
+			all := bench.Scales()
+			cscales = all[:2]
+		}
+		fmt.Printf("benchrun: churn scales=%s steps=%d\n", scaleNames(cscales), *churnSteps)
+		var err error
+		churnRows, err = bench.RunChurn(ctx, bench.ChurnOptions{
+			Scales:      cscales,
+			Steps:       *churnSteps,
+			Parallelism: *parallelism,
+			Budget:      *budget,
+			Progress:    func(line string) { fmt.Println(line) },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+		if err := bench.CheckChurn(churnRows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitChurn = 2
+		} else {
+			fmt.Println("churn gate ok: per-step evidence identical, warm objective ≤ cold")
+		}
 	}
 
 	exitServe := 0
@@ -320,6 +358,11 @@ func run() int {
 					r.Streaming = append(r.Streaming, row)
 				}
 			}
+			for _, row := range churnRows {
+				if row.Solver == r.Solver {
+					r.Churn = append(r.Churn, row)
+				}
+			}
 			for _, row := range serveRows {
 				if row.Solver == r.Solver {
 					r.Serve = append(r.Serve, row)
@@ -370,6 +413,9 @@ func run() int {
 	}
 
 	exit := exitStream
+	if exitChurn > exit {
+		exit = exitChurn
+	}
 	if exitServe > exit {
 		exit = exitServe
 	}

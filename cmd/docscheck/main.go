@@ -16,6 +16,10 @@
 //   - Coverage: every solver in the core registry (including the
 //     sharded-* variants) must be mentioned in README.md, and every
 //     benchrun flag must appear in README's benchrun flag table.
+//   - Serve endpoints: the endpoint table in docs/FORMATS.md (rows
+//     whose first cell is a backticked `METHOD /path`) must list
+//     exactly the routes internal/serve registers (serve.Routes), so
+//     the HTTP API reference can never drift from the handler.
 //
 // Usage:
 //
@@ -37,6 +41,7 @@ import (
 	"strings"
 
 	"schemamap/internal/core"
+	"schemamap/internal/serve"
 
 	// Registers the sharded-* solvers so the README coverage check
 	// sees the full registry, exactly as library users do.
@@ -66,6 +71,7 @@ func main() {
 	checkReadmeExamples(readme, binaries, report)
 	checkSolverCoverage(readme, report)
 	checkBenchrunFlagTable(readme, binaries, report)
+	checkServeEndpoints(*root, report)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -303,5 +309,39 @@ func checkBenchrunFlagTable(readme string, binaries []string, report func(string
 		if !strings.Contains(readme, "-"+f) {
 			report("README.md: benchrun flag -%s is not documented", f)
 		}
+	}
+}
+
+// endpointCellRe matches a markdown table row whose first cell is a
+// backticked `METHOD /path` — the convention the serve endpoint table
+// in docs/FORMATS.md uses.
+var endpointCellRe = regexp.MustCompile("(?m)^\\|\\s*`(GET|POST|PUT|DELETE|PATCH) ([^`]+)`")
+
+// checkServeEndpoints audits the serve endpoint table in
+// docs/FORMATS.md against the routes internal/serve actually
+// registers: the documented (method, path) set must equal
+// serve.Routes() exactly.
+func checkServeEndpoints(root string, report func(string, ...any)) {
+	const file = "docs/FORMATS.md"
+	content := readFile(filepath.Join(root, file), report)
+	documented := map[string]bool{}
+	for _, m := range endpointCellRe.FindAllStringSubmatch(content, -1) {
+		documented[m[1]+" "+strings.TrimSpace(m[2])] = true
+	}
+	registered := map[string]bool{}
+	for _, rt := range serve.Routes() {
+		key := rt.Method + " " + rt.Path
+		registered[key] = true
+		if !documented[key] {
+			report("%s: serve endpoint table is missing `%s` (registered by internal/serve)", file, key)
+		}
+	}
+	for key := range documented {
+		if !registered[key] {
+			report("%s: serve endpoint table documents `%s`, which internal/serve does not register", file, key)
+		}
+	}
+	if len(documented) == 0 {
+		report("%s: no serve endpoint table found (rows with a backticked `METHOD /path` first cell)", file)
 	}
 }

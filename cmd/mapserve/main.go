@@ -1,13 +1,15 @@
 // Command mapserve runs the mapping-selection session server
 // (internal/serve) over HTTP:
 //
-//	POST   /sessions              create (named or uploaded scenario)
-//	GET    /sessions/{id}         session status
-//	DELETE /sessions/{id}         delete
-//	POST   /sessions/{id}/append  append target tuples (delta-Prepare)
-//	POST   /sessions/{id}/solve   solve with any registered solver
-//	GET    /metrics               Prometheus text exposition
-//	GET    /healthz               200 ok / 503 draining
+//	POST   /sessions                    create (named or uploaded scenario)
+//	GET    /sessions/{id}               session status
+//	DELETE /sessions/{id}               delete
+//	POST   /sessions/{id}/append        append target tuples (delta-Prepare)
+//	POST   /sessions/{id}/remove        remove target tuples (tombstone + delta-Prepare)
+//	POST   /sessions/{id}/source-delta  add/remove source tuples (detaches the session)
+//	POST   /sessions/{id}/solve         solve with any registered solver
+//	GET    /metrics                     Prometheus text exposition
+//	GET    /healthz                     200 ok / 503 draining
 //
 // The named corpus exposes the bench scales ("S", "M", "L"), generated
 // lazily on first use; clients can also upload scenariogen JSON.

@@ -118,6 +118,9 @@ type Report struct {
 	// when the run included the throughput benchmark (benchrun
 	// -throughput); see RunThroughput.
 	Throughput []ThroughputResult `json:"throughput,omitempty"`
+	// Churn holds the solver's lifecycle-churn rows when the run
+	// included the churn benchmark (benchrun -churn); see RunChurn.
+	Churn []ChurnResult `json:"churn,omitempty"`
 }
 
 // Options configure a harness run.

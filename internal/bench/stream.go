@@ -222,18 +222,20 @@ func runStreamOne(ctx context.Context, spec Spec, sc *ibench.Scenario, stream *i
 	return row, nil
 }
 
-// EvidenceIdentical compares an incrementally grown problem's
-// evidence against a cold problem over the same target tuples, up to
-// the tuple-id permutation induced by arrival order; coverage and
-// error values must be bitwise equal. The streaming benchmark and the
-// concurrency stress tests both gate on it.
+// EvidenceIdentical compares an incrementally mutated problem's
+// evidence against a cold problem over the same live target tuples,
+// up to the tuple-id permutation induced by arrival order; coverage
+// and error values must be bitwise equal. Tombstoned slots left by
+// RemoveTarget are skipped — the mutated problem's live tuple set
+// must equal the cold target. The streaming and churn benchmarks and
+// the concurrency stress tests all gate on it.
 func EvidenceIdentical(p, cold *core.Problem) bool {
 	got, want := p.Analyses(), cold.Analyses()
 	if len(got) != len(want) {
 		return false
 	}
 	pj, cj := p.JIndex(), cold.JIndex()
-	if pj.Len() != cj.Len() {
+	if pj.NumLive() != cj.NumLive() {
 		return false
 	}
 	var remapped []cover.CoverPair
@@ -258,9 +260,12 @@ func EvidenceIdentical(p, cold *core.Problem) bool {
 			}
 		}
 	}
-	// Same target as tuple sets (both directions covered by equal
-	// lengths plus the byKey lookups above).
-	for _, t := range pj.Tuples {
+	// Same live target as tuple sets (both directions covered by equal
+	// live counts plus the byKey lookups above).
+	for j, t := range pj.Tuples {
+		if !pj.Live(j) {
+			continue
+		}
 		if cj.IndexOf(t) < 0 {
 			return false
 		}

@@ -55,6 +55,16 @@ func (s ExhaustiveSolver) Solve(ctx context.Context, p *Problem, options ...Solv
 
 	n := p.NumCandidates()
 	nj := p.jidx.Len()
+	// liveJ lists the live slot ids: tombstoned slots contribute no w₁
+	// term to F (Objective skips them), so the bound and leaf loops
+	// below must skip them too or the root lower bound would exceed the
+	// live-aware incumbent and prune the whole search.
+	liveJ := make([]int32, 0, nj)
+	for j := 0; j < nj; j++ {
+		if p.jidx.Live(j) {
+			liveJ = append(liveJ, int32(j))
+		}
+	}
 
 	// Per-candidate linear cost (errors + size) and sparse coverage.
 	// Candidates that cover nothing can only add cost; fixing them to
@@ -125,7 +135,7 @@ func (s ExhaustiveSolver) Solve(ctx context.Context, p *Problem, options ...Solv
 		// Lower bound: linear costs committed so far plus the best
 		// possible explanation using all remaining candidates for free.
 		lb := linear
-		for j := 0; j < nj; j++ {
+		for _, j := range liveJ {
 			c := maxCov[j]
 			if r := bestCovSuffix[i][j]; r > c {
 				c = r
@@ -137,7 +147,7 @@ func (s ExhaustiveSolver) Solve(ctx context.Context, p *Problem, options ...Solv
 		}
 		if i == n {
 			total := linear
-			for j := 0; j < nj; j++ {
+			for _, j := range liveJ {
 				total += p.Weights.Explain * (1 - maxCov[j])
 			}
 			if total < bestVal {

@@ -153,6 +153,15 @@ func (g *grounding) applyDelta(p *Problem, d *TargetDelta) bool {
 	if g.weights != p.Weights {
 		return false
 	}
+	// Removed tuples: an uncovered one never had factors — nothing to
+	// do. A covered one would need its variable and factors dropped,
+	// which slot surgery cannot express; rebuild cold (the cold build
+	// omits the dead slot entirely, trivially matching buildDirectMRF).
+	for _, j := range d.RemovedTuples {
+		if g.expVar[j] >= 0 {
+			return false
+		}
+	}
 	inc := p.incidence
 	for len(g.expVar) < d.NewTuples {
 		g.expVar = append(g.expVar, -1)
@@ -191,7 +200,8 @@ func (g *grounding) applyDelta(p *Problem, d *TargetDelta) bool {
 		}
 		g.groundTuple(p, j, cands, covs)
 	}
-	// Prior-weight updates (errors only ever drop on appends). The
+	// Prior-weight updates (errors drop on appends and can grow on
+	// removals — the rescale below works in either direction). The
 	// prior is a linear cost w·In(θ), whose optimal consensus
 	// multiplier scales exactly linearly with w — so instead of
 	// tombstoning the retained dual (appends reweight over half the

@@ -23,10 +23,14 @@ type Evaluator struct {
 	cnt    []int
 	// linear is Σ selected (w₂·errors + w₃·size).
 	linear float64
-	// unexplained is Σ_j w₁·(1 − maxCov[j]).
+	// unexplained is Σ_j w₁·(1 − maxCov[j]) over live slots.
 	unexplained float64
 	// cost[i] caches each candidate's linear cost.
 	cost []float64
+	// seq is the problem mutation sequence the maintained state
+	// reflects; using the evaluator while it lags the problem panics
+	// (the stale-evaluator hazard of the lifecycle methods).
+	seq uint64
 }
 
 const evalEps = 1e-12
@@ -47,7 +51,8 @@ func NewEvaluator(p *Problem, sel []bool) *Evaluator {
 		a := &p.analyses[i]
 		e.cost[i] = p.Weights.Error*a.Errors + p.Weights.Size*float64(a.Size)
 	}
-	e.unexplained = p.Weights.Explain * float64(len(e.maxCov))
+	e.unexplained = p.Weights.Explain * float64(p.jidx.NumLive())
+	e.seq = p.mutSeq.Load()
 	for i, on := range sel {
 		if on {
 			e.Flip(i)
@@ -56,8 +61,21 @@ func NewEvaluator(p *Problem, sel []bool) *Evaluator {
 	return e
 }
 
+// checkSeq panics when the problem mutated since the evaluator's state
+// was last synced — continuing would silently evaluate F against stale
+// coverage. Target-side deltas are recoverable via ExtendTarget or
+// Resync; candidate churn requires a new Evaluator.
+func (e *Evaluator) checkSeq() {
+	if e.seq != e.p.mutSeq.Load() {
+		panic("core: stale Evaluator — the problem mutated after it was built or last synced; apply the delta with ExtendTarget, call Resync, or build a new Evaluator")
+	}
+}
+
 // Total returns F at the current selection.
-func (e *Evaluator) Total() float64 { return e.unexplained + e.linear }
+func (e *Evaluator) Total() float64 {
+	e.checkSeq()
+	return e.unexplained + e.linear
+}
 
 // Selection returns a copy of the current selection.
 func (e *Evaluator) Selection() []bool { return append([]bool(nil), e.sel...) }
@@ -67,6 +85,7 @@ func (e *Evaluator) Selected(i int) bool { return e.sel[i] }
 
 // FlipDelta returns F(sel ⊕ i) − F(sel) without changing state.
 func (e *Evaluator) FlipDelta(i int) float64 {
+	e.checkSeq()
 	a := &e.p.analyses[i]
 	w1 := e.p.Weights.Explain
 	if !e.sel[i] {
@@ -98,6 +117,7 @@ func (e *Evaluator) FlipDelta(i int) float64 {
 // Flip toggles candidate i, updating all maintained state, and
 // returns the applied delta.
 func (e *Evaluator) Flip(i int) float64 {
+	e.checkSeq()
 	a := &e.p.analyses[i]
 	w1 := e.p.Weights.Explain
 	var delta float64
@@ -141,17 +161,28 @@ func (e *Evaluator) Flip(i int) float64 {
 	return delta
 }
 
-// ExtendTarget applies an AppendTarget delta to the evaluator's
-// maintained state: coverage maxima and attaining counts are
-// recomputed only for the appended tuples and the pre-existing tuples
-// the delta reports as changed (each an incidence-row scan, so the
-// cost is O(affected tuples × incident candidates)), and cached
-// linear costs are refreshed for candidates whose error count
-// dropped. Evaluators created before an append MUST apply its delta
-// (or call Resync) before further use. Deltas must be applied in
-// order; after a large batch, prefer Resync to squash accumulated
-// floating-point drift.
+// ExtendTarget applies a lifecycle delta (AppendTarget, RemoveTarget,
+// or ApplySourceDelta) to the evaluator's maintained state: coverage
+// maxima and attaining counts are recomputed only for the appended
+// tuples and the pre-existing tuples the delta reports as changed
+// (each an incidence-row scan, so the cost is O(affected tuples ×
+// incident candidates)), removed slots drop their unexplained
+// contribution and zero out, and cached linear costs are refreshed for
+// candidates whose error count changed. Evaluators created before a
+// mutation MUST apply its delta (or call Resync) before further use —
+// they panic otherwise. Deltas must be applied in the order the
+// mutations happened (the Seq stamps enforce it); after a large batch,
+// prefer Resync to squash accumulated floating-point drift.
 func (e *Evaluator) ExtendTarget(d *TargetDelta) {
+	switch d.Seq {
+	case e.seq:
+		// A no-op delta stamped at the current sequence; applying its
+		// (empty) contents is harmless.
+	case e.seq + 1:
+		e.seq = d.Seq
+	default:
+		panic("core: Evaluator.ExtendTarget: delta out of sequence — apply lifecycle deltas in mutation order, or call Resync")
+	}
 	p := e.p
 	w1 := p.Weights.Explain
 	nj := p.jidx.Len()
@@ -163,6 +194,11 @@ func (e *Evaluator) ExtendTarget(d *TargetDelta) {
 		best, c := e.rescanMaxCount(j)
 		e.maxCov[j], e.cnt[j] = best, c
 		e.unexplained += w1 * (1 - best)
+	}
+	for _, j32 := range d.RemovedTuples {
+		j := int(j32)
+		e.unexplained -= w1 * (1 - e.maxCov[j])
+		e.maxCov[j], e.cnt[j] = 0, 0
 	}
 	for _, j32 := range d.ChangedTuples {
 		j := int(j32)
@@ -184,11 +220,18 @@ func (e *Evaluator) ExtendTarget(d *TargetDelta) {
 
 // Resync recomputes the maintained state from scratch at the current
 // selection, discarding any floating-point drift the incremental
-// `+=` updates accumulated across long flip/append sequences. It is
-// O(|C| + Σ incidence rows) — call it after large append batches or
-// periodically in long-running sessions.
+// `+=` updates accumulated across long flip/append sequences — and
+// doubling as the escape hatch after any sequence of target-side
+// lifecycle mutations (it re-stamps the mutation sequence). It is
+// O(|C| + Σ incidence rows) — call it after large batches or
+// periodically in long-running sessions. Candidate churn changes |C|
+// and cannot be resynced; build a new Evaluator (Resync panics on a
+// candidate-count mismatch).
 func (e *Evaluator) Resync() {
 	p := e.p
+	if len(e.cost) != p.NumCandidates() {
+		panic("core: Evaluator.Resync: the candidate set changed — build a new Evaluator")
+	}
 	w1 := p.Weights.Explain
 	nj := p.jidx.Len()
 	for len(e.maxCov) < nj {
@@ -205,10 +248,15 @@ func (e *Evaluator) Resync() {
 	}
 	e.unexplained = 0
 	for j := 0; j < nj; j++ {
+		if !p.jidx.Live(j) {
+			e.maxCov[j], e.cnt[j] = 0, 0
+			continue
+		}
 		best, c := e.rescanMaxCount(j)
 		e.maxCov[j], e.cnt[j] = best, c
 		e.unexplained += w1 * (1 - best)
 	}
+	e.seq = p.mutSeq.Load()
 }
 
 // rescanMax returns the best coverage of tuple j over selected

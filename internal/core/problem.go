@@ -61,11 +61,13 @@ func (b Breakdown) String() string {
 //
 // Mutation contract: after Prepare has run, the instances I and J are
 // part of the prepared evidence and must not be mutated directly —
-// solvers would silently run on stale analyses. The one supported
-// post-Prepare mutation is AppendTarget, which grows J and updates the
-// evidence incrementally. Direct mutation is detected via the
-// instances' version counters: Solve returns an error and Objective
-// panics on a stale problem.
+// solvers would silently run on stale analyses. The supported
+// post-Prepare mutations are the lifecycle methods — AppendTarget and
+// RemoveTarget for J, ApplySourceDelta for I, and
+// AddCandidates/RemoveCandidates for C — each of which updates the
+// evidence incrementally (see docs/LIFECYCLE.md). Direct mutation is
+// detected via the instances' version counters: Solve returns an
+// error and Objective panics on a stale problem.
 type Problem struct {
 	I          *data.Instance
 	J          *data.Instance
@@ -95,12 +97,19 @@ type Problem struct {
 	groundMu sync.Mutex
 	ground   *grounding
 
-	// epoch counts the appends that changed already-prepared evidence
-	// (coverage rows, coverage values, or error counts) — i.e. the
-	// appends after which derived structures keyed on the evidence
-	// shape, like a shard split, must be recomputed. Pure uncovered
-	// growth does not bump it.
+	// epoch counts the lifecycle mutations that changed already-prepared
+	// evidence (coverage rows, coverage values, error counts, or the
+	// candidate set) — i.e. the mutations after which derived structures
+	// keyed on the evidence shape, like a shard split, must be
+	// recomputed. Pure uncovered growth does not bump it; removals
+	// always do (they keep the slot count, which the split cache also
+	// keys on).
 	epoch atomic.Uint64
+
+	// mutSeq counts every evidence-affecting mutation (appends included:
+	// they grow the per-slot state). Deltas are stamped with it and
+	// Evaluator uses it to detect staleness; see lifecycle.go.
+	mutSeq atomic.Uint64
 
 	// splitMu guards the sharding layer's retained decomposition (an
 	// opaque artifact — core does not know the shard types). splitEpoch
@@ -250,6 +259,11 @@ func (p *Problem) AppendTarget(tuples []data.Tuple) (*TargetDelta, error) {
 	}
 	p.groundMu.Unlock()
 	p.jVer = p.J.Version()
+	if len(added) > 0 {
+		delta.Seq = p.mutSeq.Add(1)
+	} else {
+		delta.Seq = p.mutSeq.Load()
+	}
 	return delta, nil
 }
 
@@ -342,7 +356,10 @@ func (p *Problem) Objective(sel []bool) Breakdown {
 			}
 		}
 	}
-	for _, c := range maxCov {
+	for j, c := range maxCov {
+		if !p.jidx.Live(j) {
+			continue // tombstoned slot: not a target tuple anymore
+		}
 		b.Unexplained += p.Weights.Explain * (1 - c)
 	}
 	return b

@@ -48,12 +48,16 @@ func splitTarget(J *data.Instance, n int, rng *rand.Rand) (*data.Instance, [][]d
 	return initial, batches
 }
 
-// coldProblemOf builds a fresh Problem over the same target tuples an
-// appended problem currently holds.
+// coldProblemOf builds a fresh Problem over the same live target
+// tuples a mutated problem currently holds (tombstoned slots skipped),
+// with the mutated problem's current candidate set.
 func coldProblemOf(p *Problem) *Problem {
 	J := data.NewInstance()
-	for _, t := range p.JIndex().Tuples {
-		J.Add(t)
+	jidx := p.JIndex()
+	for j, t := range jidx.Tuples {
+		if jidx.Live(j) {
+			J.Add(t)
+		}
 	}
 	cold := NewProblem(p.I, J, p.Candidates)
 	cold.Weights = p.Weights

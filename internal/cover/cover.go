@@ -91,6 +91,19 @@ func (ix *JIndex) Append(tuples []data.Tuple) {
 	}
 }
 
+// Remove tombstones target tuples by id: IndexOf stops resolving them
+// (re-appending an equal tuple later assigns a fresh id), the
+// underlying data.Index filters them out of candidate probes, and the
+// slot itself stays allocated, so live ids are stable and Len is
+// unchanged. The ids must be live; core.Problem resolves and dedups
+// them first.
+func (ix *JIndex) Remove(ids []int32) {
+	ix.idx.Remove(ids)
+	for _, id := range ids {
+		delete(ix.byKey, ix.Tuples[id].Key())
+	}
+}
+
 // IndexOf returns the index of the tuple, or -1.
 func (ix *JIndex) IndexOf(t data.Tuple) int {
 	if i, ok := ix.byKey[t.Key()]; ok {
@@ -99,8 +112,18 @@ func (ix *JIndex) IndexOf(t data.Tuple) int {
 	return -1
 }
 
-// Len returns the number of indexed tuples.
+// Len returns the number of indexed slots, tombstoned ones included
+// (dense per-slot state is sized by it).
 func (ix *JIndex) Len() int { return len(ix.Tuples) }
+
+// Live reports whether slot j holds a live (non-removed) tuple.
+func (ix *JIndex) Live(j int) bool { return ix.idx.Live(int32(j)) }
+
+// NumLive returns the number of live target tuples.
+func (ix *JIndex) NumLive() int { return ix.idx.NumLive() }
+
+// NumDead returns the number of tombstoned slots.
+func (ix *JIndex) NumDead() int { return ix.idx.NumDead() }
 
 // Index returns the posting-list index over J.
 func (ix *JIndex) Index() *data.Index { return ix.idx }
@@ -286,6 +309,12 @@ func (w *analyzeWorker) analyzeOne(index int, d *tgd.TGD, I *data.Instance, bloc
 			if sink != nil {
 				sink.errs[index] = append(sink.errs[index], t)
 			}
+		} else if sink != nil {
+			// Embedded chase tuples are retained too: target removals can
+			// take their image away, turning them back into errors, and
+			// the per-candidate multiplicity cannot be reconstructed from
+			// the canonically-deduped blocks.
+			sink.oks[index] = append(sink.oks[index], t)
 		}
 	}
 	if sink != nil {
@@ -391,8 +420,9 @@ func nullCorroborated(block []data.Tuple, ti int, mapped []bool, lbl string) boo
 	return false
 }
 
-// CertainUnexplained returns the indices of J tuples not covered (to
-// any positive degree) by any candidate. Their Eq. (9) contribution is
+// CertainUnexplained returns the indices of live J tuples not covered
+// (to any positive degree) by any candidate; tombstoned slots are
+// skipped. Their Eq. (9) contribution is
 // the constant |certain|·w₁ regardless of the selection, so solvers
 // may exclude them from the variable part of the objective
 // (cf. Section III-C of the paper).
@@ -405,7 +435,7 @@ func CertainUnexplained(jidx *JIndex, analyses []Analysis) []int {
 	}
 	var out []int
 	for j, c := range coveredBySome {
-		if !c {
+		if !c && jidx.Live(j) {
 			out = append(out, j)
 		}
 	}

@@ -77,6 +77,12 @@ type Tracker struct {
 	// kept aligned as error tuples clear).
 	errTuples [][]data.Tuple
 	errPats   [][]string
+	// okTuples lists each candidate's chase tuples that currently DO
+	// embed into J — the complement of errTuples. Removals consult it:
+	// a tuple whose image vanishes migrates back to errTuples. okPats
+	// caches canonical patterns lazily, like errPats.
+	okTuples [][]data.Tuple
+	okPats   [][]string
 }
 
 // TrackerDelta reports what one Append changed, so downstream
@@ -92,15 +98,36 @@ type TrackerDelta struct {
 	ChangedTuples []int32
 	// PairsChanged lists candidates whose Pairs slice changed.
 	PairsChanged []int32
-	// ErrorsChanged lists candidates whose Errors count dropped.
+	// ErrorsChanged lists candidates whose Errors count changed
+	// (dropped on appends; it can also grow on removals and move either
+	// way on source deltas).
 	ErrorsChanged []int32
+	// RemovedTuples lists J tuple ids tombstoned by a Remove, sorted
+	// ascending. Their slots stay allocated but dead: coverage rows are
+	// empty and IndexOf misses. Appends and source deltas never set it.
+	RemovedTuples []int32
+	// Seq is the problem mutation sequence number as of this delta.
+	// core.Problem stamps it; Evaluator.ExtendTarget enforces in-order
+	// application against it.
+	Seq uint64
 }
 
 // trackSink collects the streaming state analyzeOne records when
-// asked to: per-candidate block keys and error tuples.
+// asked to: per-candidate block keys plus error and embedded chase
+// tuples.
 type trackSink struct {
 	keys [][]string
 	errs [][]data.Tuple
+	oks  [][]data.Tuple
+}
+
+// newTrackSink sizes a sink for n candidates.
+func newTrackSink(n int) *trackSink {
+	return &trackSink{
+		keys: make([][]string, n),
+		errs: make([][]data.Tuple, n),
+		oks:  make([][]data.Tuple, n),
+	}
 }
 
 // BuildTracker runs the full evidence analysis (the exact analyzeOne
@@ -110,10 +137,7 @@ type trackSink struct {
 // AnalyzeN's.
 func BuildTracker(I *data.Instance, jidx *JIndex, candidates tgd.Mapping, opts Options, workers int) (*Tracker, []Analysis) {
 	analyses := make([]Analysis, len(candidates))
-	sink := &trackSink{
-		keys: make([][]string, len(candidates)),
-		errs: make([][]data.Tuple, len(candidates)),
-	}
+	sink := newTrackSink(len(candidates))
 	var memo sync.Map // canonical key → *trackedBlock
 	runWorkers(jidx, len(candidates), workers, func(w *analyzeWorker, i int) {
 		analyses[i] = w.analyzeOne(i, candidates[i], I, &memo, opts, sink)
@@ -124,6 +148,7 @@ func BuildTracker(I *data.Instance, jidx *JIndex, candidates tgd.Mapping, opts O
 		blocks:    make(map[string]*trackedBlock),
 		candKeys:  sink.keys,
 		errTuples: sink.errs,
+		okTuples:  sink.oks,
 	}
 	memo.Range(func(k, v any) bool {
 		t.blocks[k.(string)] = v.(*trackedBlock)
@@ -209,35 +234,7 @@ func (t *Tracker) Append(delta []data.Tuple, analyses []Analysis, workers int) *
 	// max-merging their blocks' cached contributions (memory pass, no
 	// search), and record which pre-existing tuples changed coverage.
 	touched := make(map[int32]bool)
-	if len(changedKeys) > 0 {
-		w := newAnalyzeWorker(t.jidx) // merge scratch sized to the new |J|
-		for i, keys := range t.candKeys {
-			affected := false
-			for _, key := range keys {
-				if changedKeys[key] {
-					affected = true
-					break
-				}
-			}
-			if !affected {
-				continue
-			}
-			for _, key := range keys {
-				for _, pr := range t.blocks[key].pairs {
-					if pr.Cov > w.acc[pr.J] {
-						if w.acc[pr.J] == 0 {
-							w.accTouch = append(w.accTouch, pr.J)
-						}
-						w.acc[pr.J] = pr.Cov
-					}
-				}
-			}
-			newPairs := w.drain(&w.acc, &w.accTouch)
-			diffPairs(analyses[i].Pairs, newPairs, int32(oldLen), touched)
-			analyses[i].Pairs = newPairs
-			out.PairsChanged = append(out.PairsChanged, int32(i))
-		}
-	}
+	t.remergeAffected(changedKeys, analyses, int32(oldLen), touched, out)
 	out.ChangedTuples = make([]int32, 0, len(touched))
 	for j := range touched {
 		out.ChangedTuples = append(out.ChangedTuples, j)
@@ -282,6 +279,13 @@ func (t *Tracker) Append(delta []data.Tuple, analyses []Analysis, workers int) *
 			if !mapsToDelta(pats[k], ct) {
 				kept = append(kept, ct)
 				keptPats = append(keptPats, pats[k])
+				continue
+			}
+			// The tuple gained an image: it stops being an error and
+			// joins the embedded set (removals may send it back).
+			t.okTuples[i] = append(t.okTuples[i], ct)
+			if t.okPats != nil && t.okPats[i] != nil {
+				t.okPats[i] = append(t.okPats[i], pats[k])
 			}
 		}
 		if len(kept) != len(errs) {

@@ -25,6 +25,12 @@ type Index struct {
 	tuples []Tuple
 	rels   map[string][]int32
 	post   map[postKey][]int32
+	// Tombstones: Remove marks ids dead instead of compacting, so
+	// every live id stays stable and posting lists need no surgery.
+	// dead stays nil until the first Remove, keeping the append-only
+	// fast path allocation- and branch-predictable.
+	dead    []bool
+	numDead int
 }
 
 // postKey addresses one posting list: the tuples of a relation holding
@@ -62,6 +68,9 @@ func (ix *Index) Append(tuples []Tuple) {
 	for _, t := range tuples {
 		id := int32(len(ix.tuples))
 		ix.tuples = append(ix.tuples, t)
+		if ix.dead != nil {
+			ix.dead = append(ix.dead, false)
+		}
 		ix.rels[t.Rel] = append(ix.rels[t.Rel], id)
 		for p, a := range t.Args {
 			k := postKey{rel: t.Rel, pos: p, val: a}
@@ -69,6 +78,44 @@ func (ix *Index) Append(tuples []Tuple) {
 		}
 	}
 }
+
+// Remove tombstones the given ids: they stop appearing in Candidates
+// probes, but keep their slot (Len is unchanged, live ids are stable
+// and posting lists are filtered rather than rewritten). Removing an
+// already-dead or out-of-range id panics — resolution against the
+// current live set is the caller's job.
+func (ix *Index) Remove(ids []int32) {
+	if len(ids) == 0 {
+		return
+	}
+	if ix.dead == nil {
+		ix.dead = make([]bool, len(ix.tuples))
+	}
+	for _, id := range ids {
+		if id < 0 || int(id) >= len(ix.tuples) {
+			panic("data: Index.Remove: id out of range")
+		}
+		if ix.dead[id] {
+			panic("data: Index.Remove: id already removed")
+		}
+		ix.dead[id] = true
+		ix.numDead++
+	}
+}
+
+// Live reports whether id is indexed and not tombstoned.
+func (ix *Index) Live(id int32) bool {
+	if id < 0 || int(id) >= len(ix.tuples) {
+		return false
+	}
+	return ix.dead == nil || !ix.dead[id]
+}
+
+// NumLive returns the number of live (non-tombstoned) tuples.
+func (ix *Index) NumLive() int { return len(ix.tuples) - ix.numDead }
+
+// NumDead returns the number of tombstoned tuples.
+func (ix *Index) NumDead() int { return ix.numDead }
 
 // Len returns the number of indexed tuples.
 func (ix *Index) Len() int { return len(ix.tuples) }
@@ -103,8 +150,16 @@ func (ix *Index) Candidates(t Tuple) []int32 {
 		}
 	}
 	out := make([]int32, 0, len(probe))
+	if ix.dead == nil {
+		for _, id := range probe {
+			if MatchConstPositions(t, ix.tuples[id]) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
 	for _, id := range probe {
-		if MatchConstPositions(t, ix.tuples[id]) {
+		if !ix.dead[id] && MatchConstPositions(t, ix.tuples[id]) {
 			out = append(out, id)
 		}
 	}

@@ -2,13 +2,18 @@ package serve
 
 // HTTP+JSON wiring of the session lifecycle:
 //
-//	POST   /sessions              create (named or uploaded scenario)
-//	GET    /sessions/{id}         session status
-//	DELETE /sessions/{id}         delete
-//	POST   /sessions/{id}/append  append target tuples (delta-Prepare)
-//	POST   /sessions/{id}/solve   solve with any registered solver
-//	GET    /metrics               Prometheus text exposition
-//	GET    /healthz               200 ok / 503 draining
+//	POST   /sessions                    create (named or uploaded scenario)
+//	GET    /sessions/{id}               session status
+//	DELETE /sessions/{id}               delete
+//	POST   /sessions/{id}/append        append target tuples (delta-Prepare)
+//	POST   /sessions/{id}/remove        remove target tuples (tombstoning)
+//	POST   /sessions/{id}/source-delta  mutate the source instance
+//	POST   /sessions/{id}/solve         solve with any registered solver
+//	GET    /metrics                     Prometheus text exposition
+//	GET    /healthz                     200 ok / 503 draining
+//
+// The route set is exported via Routes so cmd/docscheck can audit the
+// endpoint table in docs/FORMATS.md against what actually registers.
 //
 // While draining, every endpoint except /metrics answers 503 so load
 // balancers stop routing here; admitted requests run to completion.
@@ -75,6 +80,38 @@ type appendResponse struct {
 	AppendMillis  float64 `json:"appendMillis"`
 }
 
+type removeRequest struct {
+	Tuples []wireTuple `json:"tuples"`
+}
+
+type removeResponse struct {
+	Removed       int     `json:"removed"`
+	JTuples       int     `json:"jTuples"`
+	Forked        bool    `json:"forked"`
+	ChangedTuples int     `json:"changedTuples"`
+	PairsChanged  int     `json:"pairsChanged"`
+	RemoveMillis  float64 `json:"removeMillis"`
+}
+
+type sourceDeltaRequest struct {
+	Add    []wireTuple `json:"add,omitempty"`
+	Remove []wireTuple `json:"remove,omitempty"`
+}
+
+type sourceDeltaResponse struct {
+	// Added and Removed count the source tuples actually inserted and
+	// deleted (duplicates and misses in the request are ignored).
+	Added             int     `json:"added"`
+	Removed           int     `json:"removed"`
+	SourceTuples      int     `json:"sourceTuples"`
+	JTuples           int     `json:"jTuples"`
+	Detached          bool    `json:"detached"`
+	ChangedTuples     int     `json:"changedTuples"`
+	PairsChanged      int     `json:"pairsChanged"`
+	ErrorsChanged     int     `json:"errorsChanged"`
+	SourceDeltaMillis float64 `json:"sourceDeltaMillis"`
+}
+
 type solveRequest struct {
 	Solver        string `json:"solver,omitempty"`
 	BudgetMillis  int64  `json:"budgetMillis,omitempty"`
@@ -119,6 +156,9 @@ type statusResponse struct {
 	Solves         int64    `json:"solves"`
 	Appends        int64    `json:"appends"`
 	AppendedTuples int64    `json:"appendedTuples"`
+	Removes        int64    `json:"removes"`
+	RemovedTuples  int64    `json:"removedTuples"`
+	SourceDeltas   int64    `json:"sourceDeltas"`
 	LastObjective  *float64 `json:"lastObjective,omitempty"`
 	CreatedAt      string   `json:"createdAt"`
 	LastUsedAt     string   `json:"lastUsedAt"`
@@ -128,16 +168,55 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// Route is one registered API route, as cmd/docscheck audits them
+// against the endpoint table in docs/FORMATS.md.
+type Route struct {
+	Method string
+	Path   string
+}
+
+// routeTable is the single source of truth for the server's routes:
+// Handler registers exactly these, and Routes exposes them for the
+// docs audit. raw routes bypass drain admission (health and metrics
+// must answer while draining).
+var routeTable = []struct {
+	Route
+	handle func(*Server, http.ResponseWriter, *http.Request)
+	raw    bool
+}{
+	{Route{http.MethodGet, "/healthz"}, (*Server).handleHealth, true},
+	{Route{http.MethodGet, "/metrics"}, (*Server).handleMetrics, true},
+	{Route{http.MethodPost, "/sessions"}, (*Server).handleCreate, false},
+	{Route{http.MethodGet, "/sessions/{id}"}, (*Server).handleStatus, false},
+	{Route{http.MethodDelete, "/sessions/{id}"}, (*Server).handleDelete, false},
+	{Route{http.MethodPost, "/sessions/{id}/append"}, (*Server).handleAppend, false},
+	{Route{http.MethodPost, "/sessions/{id}/remove"}, (*Server).handleRemove, false},
+	{Route{http.MethodPost, "/sessions/{id}/source-delta"}, (*Server).handleSourceDelta, false},
+	{Route{http.MethodPost, "/sessions/{id}/solve"}, (*Server).handleSolve, false},
+}
+
+// Routes lists every route the Handler registers, in registration
+// order.
+func Routes() []Route {
+	rs := make([]Route, len(routeTable))
+	for i, rt := range routeTable {
+		rs[i] = rt.Route
+	}
+	return rs
+}
+
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.Handle("POST /sessions", s.api(s.handleCreate))
-	mux.Handle("GET /sessions/{id}", s.api(s.handleStatus))
-	mux.Handle("DELETE /sessions/{id}", s.api(s.handleDelete))
-	mux.Handle("POST /sessions/{id}/append", s.api(s.handleAppend))
-	mux.Handle("POST /sessions/{id}/solve", s.api(s.handleSolve))
+	for _, rt := range routeTable {
+		handle := rt.handle
+		h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { handle(s, w, r) })
+		if rt.raw {
+			mux.Handle(rt.Method+" "+rt.Path, h)
+		} else {
+			mux.Handle(rt.Method+" "+rt.Path, s.api(h))
+		}
+	}
 	return mux
 }
 
@@ -218,7 +297,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		ScenarioKey:   sess.key,
 		SharedPrepare: sess.shared,
 		Candidates:    sess.p.NumCandidates(),
-		JTuples:       sess.p.JIndex().Len(),
+		JTuples:       sess.p.NumLiveTuples(),
 		CreateMillis:  float64(time.Since(start).Nanoseconds()) / 1e6,
 	}
 	sess.mu.RUnlock()
@@ -237,10 +316,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		ScenarioKey:    sess.key,
 		SharedPrepare:  sess.shared,
 		Candidates:     sess.p.NumCandidates(),
-		JTuples:        sess.p.JIndex().Len(),
+		JTuples:        sess.p.NumLiveTuples(),
 		Solves:         sess.solves.Load(),
 		Appends:        sess.appends.Load(),
 		AppendedTuples: sess.appended.Load(),
+		Removes:        sess.removes.Load(),
+		RemovedTuples:  sess.removed.Load(),
+		SourceDeltas:   sess.srcDeltas.Load(),
 		CreatedAt:      sess.created.UTC().Format(time.RFC3339Nano),
 		LastUsedAt:     sess.lastUsed.UTC().Format(time.RFC3339Nano),
 	}
@@ -278,22 +360,10 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty tuple batch"))
 		return
 	}
-	tuples := make([]data.Tuple, 0, len(req.Tuples))
-	for _, wt := range req.Tuples {
-		if wt.Rel == "" {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("tuple without relation"))
-			return
-		}
-		args := make([]data.Value, len(wt.Args))
-		for i, a := range wt.Args {
-			v, err := ibench.DecodeValue(a)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
-				return
-			}
-			args[i] = v
-		}
-		tuples = append(tuples, data.Tuple{Rel: wt.Rel, Args: args})
+	tuples, err := decodeTuples(req.Tuples)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 
 	start := time.Now()
@@ -304,7 +374,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		forked = true
 	}
 	delta, err := sess.p.AppendTarget(tuples)
-	jTuples := sess.p.JIndex().Len()
+	jTuples := sess.p.NumLiveTuples()
 	sess.mu.Unlock()
 	elapsed := time.Since(start)
 	if err != nil {
@@ -323,6 +393,139 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		ChangedTuples: len(delta.ChangedTuples),
 		PairsChanged:  len(delta.PairsChanged),
 		AppendMillis:  float64(elapsed.Nanoseconds()) / 1e6,
+	})
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such session"))
+		return
+	}
+	var req removeRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Tuples) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty tuple batch"))
+		return
+	}
+	tuples, err := decodeTuples(req.Tuples)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	start := time.Now()
+	sess.mu.Lock()
+	forked := false
+	if sess.shared {
+		// Copy-on-remove: the cache's shared problem must keep its full
+		// target for the other sessions.
+		s.fork(sess)
+		forked = true
+	}
+	delta, err := sess.p.RemoveTarget(tuples)
+	jTuples := sess.p.NumLiveTuples()
+	sess.mu.Unlock()
+	elapsed := time.Since(start)
+	if err != nil {
+		// Unknown tuple (or stale evidence): the problem is untouched.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	removed := len(delta.RemovedTuples)
+	sess.removes.Add(1)
+	sess.removed.Add(int64(removed))
+	s.m.removes.Inc()
+	s.m.removedTuples.Add(float64(removed))
+	s.m.appendSeconds.Observe(elapsed.Seconds())
+	writeJSON(w, http.StatusOK, removeResponse{
+		Removed:       removed,
+		JTuples:       jTuples,
+		Forked:        forked,
+		ChangedTuples: len(delta.ChangedTuples),
+		PairsChanged:  len(delta.PairsChanged),
+		RemoveMillis:  float64(elapsed.Nanoseconds()) / 1e6,
+	})
+}
+
+func (s *Server) handleSourceDelta(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such session"))
+		return
+	}
+	var req sourceDeltaRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Add) == 0 && len(req.Remove) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty source delta"))
+		return
+	}
+	add, err := decodeTuples(req.Add)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rem, err := decodeTuples(req.Remove)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	start := time.Now()
+	sess.mu.Lock()
+	if !sess.detached {
+		// Source deltas mutate I; even a forked problem still aliases
+		// the shared source instance, so detach on first use.
+		s.forkDetached(sess)
+	}
+	// Count the effective changes against the pre-state (core applies
+	// adds before removes and skips duplicates and misses).
+	addKeys := make(map[string]bool)
+	for _, t := range add {
+		if !sess.p.I.Has(t) {
+			addKeys[t.Key()] = true
+		}
+	}
+	removedN := 0
+	remSeen := make(map[string]bool)
+	for _, t := range rem {
+		k := t.Key()
+		if remSeen[k] {
+			continue
+		}
+		remSeen[k] = true
+		if sess.p.I.Has(t) || addKeys[k] {
+			removedN++
+		}
+	}
+	delta, err := sess.p.ApplySourceDelta(core.SourceDelta{Add: add, Remove: rem})
+	sourceTuples := sess.p.I.Len()
+	jTuples := sess.p.NumLiveTuples()
+	sess.mu.Unlock()
+	elapsed := time.Since(start)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	sess.srcDeltas.Add(1)
+	s.m.sourceDeltas.Inc()
+	s.m.appendSeconds.Observe(elapsed.Seconds())
+	writeJSON(w, http.StatusOK, sourceDeltaResponse{
+		Added:             len(addKeys),
+		Removed:           removedN,
+		SourceTuples:      sourceTuples,
+		JTuples:           jTuples,
+		Detached:          true,
+		ChangedTuples:     len(delta.ChangedTuples),
+		PairsChanged:      len(delta.PairsChanged),
+		ErrorsChanged:     len(delta.ErrorsChanged),
+		SourceDeltaMillis: float64(elapsed.Nanoseconds()) / 1e6,
 	})
 }
 
@@ -452,6 +655,27 @@ func (s *Server) resolveParallelism(req int) int {
 		return s.cfg.Parallelism
 	}
 	return req
+}
+
+// decodeTuples converts wire tuples to data tuples, validating the
+// value encoding.
+func decodeTuples(wts []wireTuple) ([]data.Tuple, error) {
+	tuples := make([]data.Tuple, 0, len(wts))
+	for _, wt := range wts {
+		if wt.Rel == "" {
+			return nil, fmt.Errorf("tuple without relation")
+		}
+		args := make([]data.Value, len(wt.Args))
+		for i, a := range wt.Args {
+			v, err := ibench.DecodeValue(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		tuples = append(tuples, data.Tuple{Rel: wt.Rel, Args: args})
+	}
+	return tuples, nil
 }
 
 // decodeBody decodes a JSON body, tolerating an empty one (all

@@ -7,9 +7,13 @@
 // Prepare is the expensive phase, its sync.Once semantics make a
 // prepared Problem safe to share across concurrent solves, and the
 // share is keyed by a content hash so equal uploads dedupe. The first
-// append on a shared session forks a session-private Problem
-// (copy-on-append), after which appends are incremental delta-Prepares
-// and re-solves warm-start from the session's last selection.
+// target mutation on a shared session forks a session-private Problem
+// (copy-on-append), after which appends and removals are incremental
+// delta-Prepares and re-solves warm-start from the session's last
+// selection. The first source delta forks further into a detached
+// problem (source instance cloned too), since shared sessions alias
+// the cache's source. See docs/LIFECYCLE.md for the mutation
+// contract the endpoints expose.
 //
 // The server measures itself: prepare/solve/append latency histograms,
 // cache hit counters, live-session and in-flight gauges, per-solver
@@ -121,7 +125,11 @@ type session struct {
 	mu     sync.RWMutex
 	p      *core.Problem
 	sc     *ibench.Scenario
-	shared bool // p is the cache's problem; appends must fork first
+	shared bool // p is the cache's problem; target mutations must fork first
+	// detached means p's source instance is private too (ForkDetached);
+	// source deltas on a non-detached session must detach first, since a
+	// plain Fork still aliases the shared source.
+	detached bool
 
 	lastMu sync.Mutex
 	last   *core.Selection
@@ -132,7 +140,8 @@ type session struct {
 	lastUsed time.Time // guarded by Server.mu
 	elem     *list.Element
 
-	solves, appends, appended atomic.Int64
+	solves, appends, appended   atomic.Int64
+	removes, removed, srcDeltas atomic.Int64
 }
 
 type serveMetrics struct {
@@ -147,6 +156,9 @@ type serveMetrics struct {
 	prepareSeconds  *metrics.Histogram
 	appendSeconds   *metrics.Histogram
 	appendedTuples  *metrics.Counter
+	removes         *metrics.Counter
+	removedTuples   *metrics.Counter
+	sourceDeltas    *metrics.Counter
 	solveErrors     *metrics.Counter
 	requests        *metrics.Counter
 	rejected        *metrics.Counter
@@ -206,6 +218,9 @@ func NewServer(cfg Config) *Server {
 		prepareSeconds:  r.Histogram("serve_prepare_seconds", "Prepare latency (cache misses and forks).", nil),
 		appendSeconds:   r.Histogram("serve_append_seconds", "AppendTarget latency.", nil),
 		appendedTuples:  r.Counter("serve_appended_tuples_total", "Target tuples appended."),
+		removes:         r.Counter("serve_removes_total", "Remove requests applied."),
+		removedTuples:   r.Counter("serve_removed_tuples_total", "Target tuples removed."),
+		sourceDeltas:    r.Counter("serve_source_deltas_total", "Source-delta requests applied."),
 		solveErrors:     r.Counter("serve_solve_errors_total", "Solve requests that failed."),
 		requests:        r.Counter("serve_http_requests_total", "API requests admitted."),
 		rejected:        r.Counter("serve_http_rejected_total", "API requests rejected while draining."),
@@ -231,6 +246,8 @@ type Stats struct {
 	Forks           float64
 	SolveErrors     float64
 	AppendedTuples  float64
+	RemovedTuples   float64
+	SourceDeltas    float64
 }
 
 // Stats snapshots the server counters.
@@ -243,6 +260,8 @@ func (s *Server) Stats() Stats {
 		Forks:           s.m.forks.Value(),
 		SolveErrors:     s.m.solveErrors.Value(),
 		AppendedTuples:  s.m.appendedTuples.Value(),
+		RemovedTuples:   s.m.removedTuples.Value(),
+		SourceDeltas:    s.m.sourceDeltas.Value(),
 	}
 }
 
@@ -461,7 +480,7 @@ func (s *Server) liveSessions() int {
 }
 
 // fork gives a shared session its private problem before the first
-// append (copy-on-append). Callers hold sess.mu.
+// target mutation (copy-on-append). Callers hold sess.mu.
 func (s *Server) fork(sess *session) {
 	forked := sess.p.Fork()
 	start := time.Now()
@@ -469,6 +488,22 @@ func (s *Server) fork(sess *session) {
 	s.m.prepareSeconds.Observe(time.Since(start).Seconds())
 	sess.p = forked
 	sess.shared = false
+	s.m.forks.Inc()
+}
+
+// forkDetached gives a session a fully private problem — source
+// instance cloned as well — before its first source delta. A plain
+// fork still aliases the shared source instance, which a source delta
+// would mutate under every session of the scenario. Callers hold
+// sess.mu.
+func (s *Server) forkDetached(sess *session) {
+	forked := sess.p.ForkDetached()
+	start := time.Now()
+	forked.PrepareStreaming(s.cfg.Parallelism)
+	s.m.prepareSeconds.Observe(time.Since(start).Seconds())
+	sess.p = forked
+	sess.shared = false
+	sess.detached = true
 	s.m.forks.Inc()
 }
 

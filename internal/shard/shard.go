@@ -101,7 +101,11 @@ func SplitN(p *core.Problem, workers int) []Shard {
 		comps[c].Candidates = append(comps[c].Candidates, i)
 	}
 	var uncovered []int
+	jidx := p.JIndex()
 	for j := 0; j < nj; j++ {
+		if !jidx.Live(j) {
+			continue // tombstoned slot: belongs to no shard
+		}
 		root := uf.find(nc + j)
 		if c, ok := compOf[root]; ok {
 			comps[c].Tuples = append(comps[c].Tuples, j)

@@ -119,8 +119,12 @@ type (
 	// SolveEvent is one progress report from a running solver.
 	SolveEvent = core.Event
 
-	// TargetDelta reports what one Problem.AppendTarget changed.
+	// TargetDelta reports what one lifecycle mutation (AppendTarget,
+	// RemoveTarget, ApplySourceDelta) changed.
 	TargetDelta = core.TargetDelta
+	// SourceDelta is a batch mutation of the source instance for
+	// Problem.ApplySourceDelta.
+	SourceDelta = core.SourceDelta
 
 	// Scenario is a generated benchmark scenario.
 	Scenario = ibench.Scenario

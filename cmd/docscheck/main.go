@@ -20,6 +20,10 @@
 //     whose first cell is a backticked `METHOD /path`) must list
 //     exactly the routes internal/serve registers (serve.Routes), so
 //     the HTTP API reference can never drift from the handler.
+//   - Analyzers: the analyzer table in docs/ANALYSIS.md (rows whose
+//     first cell is a backticked name) must list exactly the
+//     analyzers lint.Analyzers() returns, in both directions — a new
+//     analyzer must be documented, a documented one must exist.
 //
 // Usage:
 //
@@ -41,6 +45,7 @@ import (
 	"strings"
 
 	"schemamap/internal/core"
+	"schemamap/internal/lint"
 	"schemamap/internal/serve"
 
 	// Registers the sharded-* solvers so the README coverage check
@@ -72,6 +77,7 @@ func main() {
 	checkSolverCoverage(readme, report)
 	checkBenchrunFlagTable(readme, binaries, report)
 	checkServeEndpoints(*root, report)
+	checkAnalyzerDocs(*root, report)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -343,5 +349,38 @@ func checkServeEndpoints(root string, report func(string, ...any)) {
 	}
 	if len(documented) == 0 {
 		report("%s: no serve endpoint table found (rows with a backticked `METHOD /path` first cell)", file)
+	}
+}
+
+// analyzerCellRe matches a markdown table row whose first cell is a
+// backticked bare name — the convention the analyzer table in
+// docs/ANALYSIS.md uses (annotation rows start with `//lint:`, which
+// deliberately does not match).
+var analyzerCellRe = regexp.MustCompile("(?m)^\\|\\s*`([a-z][a-z0-9-]*)`")
+
+// checkAnalyzerDocs audits the analyzer table in docs/ANALYSIS.md
+// against the suite cmd/mapvet actually runs: the documented name set
+// must equal lint.Analyzers() exactly.
+func checkAnalyzerDocs(root string, report func(string, ...any)) {
+	const file = "docs/ANALYSIS.md"
+	content := readFile(filepath.Join(root, file), report)
+	documented := map[string]bool{}
+	for _, m := range analyzerCellRe.FindAllStringSubmatch(content, -1) {
+		documented[m[1]] = true
+	}
+	registered := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		registered[a.Name] = true
+		if !documented[a.Name] {
+			report("%s: analyzer table is missing `%s` (returned by lint.Analyzers)", file, a.Name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			report("%s: analyzer table documents `%s`, which lint.Analyzers does not return", file, name)
+		}
+	}
+	if len(documented) == 0 {
+		report("%s: no analyzer table found (rows with a backticked name first cell)", file)
 	}
 }

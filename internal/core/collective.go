@@ -74,7 +74,7 @@ func (s CollectiveSolver) Solve(ctx context.Context, p *Problem, options ...Solv
 	if err := r.prepare(p); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:wallclock timing-only: feeds Selection.Elapsed, never the selection
 	n := p.NumCandidates()
 
 	// The direct-build path retains the ground MRF (and the last ADMM

@@ -42,7 +42,7 @@ func (s CollectiveMMSolver) Solve(ctx context.Context, p *Problem, options ...So
 	if err := r.prepare(p); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:wallclock timing-only: feeds Selection.Elapsed, never the selection
 	n := p.NumCandidates()
 
 	g := p.directGrounding()

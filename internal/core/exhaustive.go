@@ -51,7 +51,7 @@ func (s ExhaustiveSolver) Solve(ctx context.Context, p *Problem, options ...Solv
 	if err := r.prepare(p); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:wallclock timing-only: feeds Selection.Elapsed, never the selection
 
 	n := p.NumCandidates()
 	nj := p.jidx.Len()

@@ -29,7 +29,7 @@ func (s GreedySolver) Solve(ctx context.Context, p *Problem, options ...SolveOpt
 	if err := r.prepare(p); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:wallclock timing-only: feeds Selection.Elapsed, never the selection
 	passes := s.MaxPasses
 	if passes <= 0 {
 		passes = 8
@@ -157,7 +157,7 @@ func (s IndependentSolver) Solve(ctx context.Context, p *Problem, options ...Sol
 	if err := r.prepare(p); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:wallclock timing-only: feeds Selection.Elapsed, never the selection
 	n := p.NumCandidates()
 	sel := make([]bool, n)
 	r.emit("scan", 0)

@@ -119,6 +119,7 @@ func newRun(ctx context.Context, solver string, opts []SolveOption) *run {
 		o(&r.cfg)
 	}
 	if r.cfg.Budget > 0 {
+		//lint:wallclock soft-budget bookkeeping: affects only where truncation stops, which Truncated reports
 		r.deadline = time.Now().Add(r.cfg.Budget)
 	}
 	return r
@@ -137,6 +138,7 @@ func (r *run) err() error {
 
 // overBudget reports whether the soft budget has elapsed.
 func (r *run) overBudget() bool {
+	//lint:wallclock soft-budget bookkeeping: affects only where truncation stops, which Truncated reports
 	return !r.deadline.IsZero() && time.Now().After(r.deadline)
 }
 

@@ -111,10 +111,10 @@ type Problem struct {
 	// Evaluator uses it to detect staleness; see lifecycle.go.
 	mutSeq atomic.Uint64
 
-	// splitMu guards the sharding layer's retained decomposition (an
-	// opaque artifact — core does not know the shard types). splitEpoch
-	// and splitTuples record the evidence epoch and tuple count the
-	// artifact was computed at; a pure uncovered append keeps the epoch
+	// splitMu guards splitVal, splitEpoch, splitTuples: the sharding
+	// layer's retained decomposition (an opaque artifact — core does not
+	// know the shard types) plus the evidence epoch and tuple count the
+	// artifact was computed at. A pure uncovered append keeps the epoch
 	// but grows the tuple count, and invalidates the split too (the
 	// candidate-free shard changed).
 	splitMu     sync.Mutex

@@ -178,6 +178,7 @@ func (a *Analysis) TotalCoverage() float64 {
 // zero entries are dropped. Used by the reference path and tests.
 func PairsFromMap(m map[int]float64) []CoverPair {
 	pairs := make([]CoverPair, 0, len(m))
+	//lint:commutative collect-then-sort: pairs are sorted by J below before use
 	for j, c := range m {
 		if c > 0 {
 			pairs = append(pairs, CoverPair{J: int32(j), Cov: c})

@@ -197,6 +197,7 @@ func (t *Tracker) Append(delta []data.Tuple, analyses []Analysis, workers int) *
 		return dirty
 	}
 	var dirtyKeys []string
+	//lint:commutative collects dirty keys (dirtiness is per-block; memo is pattern-keyed) and sorts them below
 	for key, tb := range t.blocks {
 		if tb.reps == nil {
 			tb.pats, tb.reps = distinctPatterns(tb.tuples)

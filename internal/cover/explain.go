@@ -38,6 +38,7 @@ type Witness struct {
 // String renders the witness compactly.
 func (w Witness) String() string {
 	var nulls []string
+	//lint:commutative collect-then-sort: the rendered fragments are sorted before joining
 	for k, v := range w.NullImage {
 		nulls = append(nulls, fmt.Sprintf("%s→%s", k, v.Name()))
 	}

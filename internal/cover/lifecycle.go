@@ -70,6 +70,7 @@ func (t *Tracker) Remove(removed []data.Tuple, ids []int32, analyses []Analysis,
 		return dirty
 	}
 	var dirtyKeys []string
+	//lint:commutative collects dirty keys (dirtiness is per-block; memo is pattern-keyed) and sorts them below
 	for key, tb := range t.blocks {
 		if tb.reps == nil {
 			tb.pats, tb.reps = distinctPatterns(tb.tuples)
@@ -114,6 +115,7 @@ func (t *Tracker) Remove(removed []data.Tuple, ids []int32, analyses []Analysis,
 	touched := make(map[int32]bool)
 	t.remergeAffected(changedKeys, analyses, int32(n), touched, out)
 	out.ChangedTuples = make([]int32, 0, len(touched))
+	//lint:commutative filtered collect-then-sort: ChangedTuples is sorted immediately below
 	for j := range touched {
 		if !removedSet[j] {
 			out.ChangedTuples = append(out.ChangedTuples, j)
@@ -240,6 +242,7 @@ func (t *Tracker) ApplySourceDelta(I *data.Instance, changedRels map[string]bool
 		return out
 	}
 	var memo sync.Map
+	//lint:commutative per-key copy into a sync.Map; each key is stored once
 	for k, v := range t.blocks {
 		memo.Store(k, v)
 	}
@@ -287,6 +290,7 @@ func (t *Tracker) AddCandidates(I *data.Instance, added tgd.Mapping, workers int
 	base := len(t.candKeys)
 	sink := newTrackSink(base + len(added))
 	var memo sync.Map
+	//lint:commutative per-key copy into a sync.Map; each key is stored once
 	for k, v := range t.blocks {
 		memo.Store(k, v)
 	}
@@ -359,6 +363,7 @@ func (t *Tracker) sweepBlocks() {
 			used[k] = true
 		}
 	}
+	//lint:commutative per-key conditional delete; each key is decided independently
 	for k := range t.blocks {
 		if !used[k] {
 			delete(t.blocks, k)

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detrange flags `range` over a map inside the result-affecting
+// packages (core, cover, psl, shard, quality, chase — matched by
+// package basename): map iteration order is randomized per run, so any
+// map range whose body is order-sensitive can leak nondeterminism into
+// solver iterates, evidence, shard decompositions, or quality scores —
+// exactly what the bit-identical differential gates compare.
+//
+// A range is accepted when either
+//
+//   - the loop body is mechanically commutative: every statement is a
+//     key-collect append (`keys = append(keys, k)`, to be sorted
+//     downstream), an insert/delete keyed by the iteration key on
+//     another map (each key visited once), or an integer count
+//     (`n++` / `n += <int>`), or
+//   - it carries a `//lint:commutative <reason>` annotation on the
+//     range line or the line above, with a mandatory reason.
+var Detrange = &Analyzer{
+	Name: "detrange",
+	Doc:  "flags nondeterministic map iteration in result-affecting packages",
+	Run:  runDetrange,
+}
+
+func runDetrange(pass *Pass) {
+	if !resultAffecting(pass.Pkg) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.suppressed(rng.For, "commutative") {
+				return true
+			}
+			if commutativeBody(info, rng) {
+				return true
+			}
+			pass.Reportf(rng.For, "range over map: iteration order is nondeterministic in a result-affecting package — sort the keys first or annotate //lint:commutative <reason>")
+			return true
+		})
+	}
+}
+
+// commutativeBody reports whether every statement of the range body is
+// one of the mechanically order-independent forms.
+func commutativeBody(info *types.Info, rng *ast.RangeStmt) bool {
+	key, _ := rng.Key.(*ast.Ident)
+	if len(rng.Body.List) == 0 {
+		return true
+	}
+	for _, stmt := range rng.Body.List {
+		if !commutativeStmt(info, key, stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func commutativeStmt(info *types.Info, key *ast.Ident, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		// n++ / n-- over any integer is commutative counting.
+		return isInteger(info.TypeOf(s.X))
+	case *ast.ExprStmt:
+		// delete(other, k): each key is visited exactly once.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && isBuiltin(info, id, "delete") {
+			return len(call.Args) == 2 && isIdent(call.Args[1], key)
+		}
+		return false
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN:
+			// n += <integer>: commutative; float accumulation is not
+			// associative and stays flagged.
+			return isInteger(info.TypeOf(s.Lhs[0]))
+		case token.ASSIGN:
+			// keys = append(keys, k): collect for sorting downstream.
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && isBuiltin(info, id, "append") &&
+					len(call.Args) == 2 && sameExprText(s.Lhs[0], call.Args[0]) && isIdent(call.Args[1], key) {
+					return true
+				}
+			}
+			// other[k] = v: each key is written exactly once.
+			if idx, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+				if t := info.TypeOf(idx.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && isIdent(idx.Index, key) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		return false
+	}
+	return false
+}
+
+// isBuiltin reports whether id is the predeclared builtin of that
+// name (not shadowed by a local declaration).
+func isBuiltin(info *types.Info, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isIdent(e ast.Expr, id *ast.Ident) bool {
+	if id == nil {
+		return false
+	}
+	x, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && x.Name == id.Name
+}
+
+// sameExprText compares two simple expressions (idents and selector
+// chains) structurally — enough to match `keys` with `keys` in the
+// append idiom.
+func sameExprText(a, b ast.Expr) bool {
+	switch av := ast.Unparen(a).(type) {
+	case *ast.Ident:
+		bv, ok := ast.Unparen(b).(*ast.Ident)
+		return ok && av.Name == bv.Name
+	case *ast.SelectorExpr:
+		bv, ok := ast.Unparen(b).(*ast.SelectorExpr)
+		return ok && av.Sel.Name == bv.Sel.Name && sameExprText(av.X, bv.X)
+	}
+	return false
+}

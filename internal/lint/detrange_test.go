@@ -1,0 +1,34 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"schemamap/internal/lint"
+	"schemamap/internal/lint/linttest"
+)
+
+func TestDetrange(t *testing.T) {
+	linttest.Run(t, lint.Detrange, "detrange/...")
+}
+
+// A //lint:commutative with no reason cannot be expressed as a want
+// comment (the annotation is the line's comment), so the two expected
+// diagnostics — the missing reason and the still-unsuppressed range —
+// are asserted directly.
+func TestDetrangeAnnotationRequiresReason(t *testing.T) {
+	prog, err := lint.LoadProgram(lint.LoadConfig{Dir: "testdata/src"}, "noreason/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunAnalyzers(prog, []*lint.Analyzer{lint.Detrange})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "annotation requires a reason") {
+		t.Errorf("first diagnostic = %q, want the missing-reason report", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "range over map") {
+		t.Errorf("second diagnostic = %q, want the range report", diags[1].Message)
+	}
+}

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Guardlock enforces the repository's documented-locking convention
+// (the one internal/serve and internal/metrics use):
+//
+//   - a sync.Mutex / sync.RWMutex struct field whose comment says
+//     `guards a, b, c` declares that the named sibling fields may only
+//     be touched while that mutex is held;
+//   - any struct field whose comment says `guarded by mu` (same
+//     struct) or `guarded by Server.mu` (another struct of the same
+//     package) declares the same for itself.
+//
+// Every function that reads or writes a guarded field must contain a
+// Lock/RLock call on the declared mutex (matched by mutex-owner type
+// and field name — a per-function approximation of "holds the lock"),
+// unless the function name ends in "Locked" or it carries a
+// `//lint:guarded-by-caller <reason>` annotation. A write access under
+// an RWMutex additionally requires the write lock. A `guards` comment
+// that names no parseable sibling fields is itself reported, so the
+// convention cannot silently rot into prose.
+var Guardlock = &Analyzer{
+	Name: "guardlock",
+	Doc:  "reports guarded-field accesses outside the declared mutex",
+	Run:  runGuardlock,
+}
+
+// guardSpec says: field `field` of struct `owner` is guarded by
+// mutex field `muField` of struct `mu`.
+type guardSpec struct {
+	owner   *types.TypeName
+	field   string
+	mu      *types.TypeName
+	muField string
+	rw      bool
+}
+
+var (
+	guardsRe    = regexp.MustCompile(`\bguards\s+(.*)`)
+	guardedByRe = regexp.MustCompile(`\bguarded by\s+([A-Za-z_][A-Za-z0-9_]*)(?:\.([A-Za-z_][A-Za-z0-9_]*))?`)
+	identRe     = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
+)
+
+func runGuardlock(pass *Pass) {
+	specs := collectGuardSpecs(pass)
+	if len(specs) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(pass, specs, fn)
+		}
+	}
+}
+
+// collectGuardSpecs parses the guard comments out of every struct
+// declaration of the package.
+func collectGuardSpecs(pass *Pass) map[*types.TypeName]map[string]guardSpec {
+	specs := make(map[*types.TypeName]map[string]guardSpec)
+	info := pass.Pkg.Info
+	addSpec := func(s guardSpec) {
+		m := specs[s.owner]
+		if m == nil {
+			m = make(map[string]guardSpec)
+			specs[s.owner] = m
+		}
+		m[s.field] = s
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			owner, ok := info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				if len(fld.Names) == 0 {
+					continue
+				}
+				text := fieldCommentText(fld)
+				if text == "" {
+					continue
+				}
+				name := fld.Names[0].Name
+				rw, isMutex := mutexKind(info.TypeOf(fld.Type))
+				if isMutex {
+					if m := guardsRe.FindStringSubmatch(text); m != nil {
+						fields := parseGuardedFields(m[1], fieldNames)
+						if len(fields) == 0 {
+							pass.Reportf(fld.Pos(), "guards comment on %s.%s names no parseable sibling fields (grammar: guards f1, f2, ...)", owner.Name(), name)
+							continue
+						}
+						for _, gf := range fields {
+							addSpec(guardSpec{owner: owner, field: gf, mu: owner, muField: name, rw: rw})
+						}
+					}
+					continue
+				}
+				if m := guardedByRe.FindStringSubmatch(text); m != nil {
+					muOwner, muField := owner, m[1]
+					if m[2] != "" {
+						tn, ok := pass.Pkg.Types.Scope().Lookup(m[1]).(*types.TypeName)
+						if !ok {
+							pass.Reportf(fld.Pos(), "guarded by %s.%s: no type %s in this package", m[1], m[2], m[1])
+							continue
+						}
+						muOwner, muField = tn, m[2]
+					}
+					rw, ok := mutexField(muOwner, muField)
+					if !ok {
+						pass.Reportf(fld.Pos(), "guarded by: %s has no sync.Mutex/RWMutex field %s", muOwner.Name(), muField)
+						continue
+					}
+					for _, fname := range fld.Names {
+						addSpec(guardSpec{owner: owner, field: fname.Name, mu: muOwner, muField: muField, rw: rw})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return specs
+}
+
+func fieldCommentText(fld *ast.Field) string {
+	var parts []string
+	if fld.Doc != nil {
+		parts = append(parts, fld.Doc.Text())
+	}
+	if fld.Comment != nil {
+		parts = append(parts, fld.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+// parseGuardedFields parses the comma-separated field list after
+// "guards". Trailing prose ends the list: parsing stops at the first
+// segment that is not a bare identifier naming a sibling field, and a
+// ":" / ";" / "—" / "(" cuts a segment before prose begins.
+func parseGuardedFields(rest string, siblings map[string]bool) []string {
+	if i := strings.IndexByte(rest, '\n'); i >= 0 {
+		rest = rest[:i]
+	}
+	var out []string
+	for _, seg := range strings.Split(rest, ",") {
+		if i := strings.IndexAny(seg, ":;(—"); i >= 0 {
+			seg = seg[:i]
+		}
+		seg = strings.TrimSpace(seg)
+		if !identRe.MatchString(seg) || !siblings[seg] {
+			break
+		}
+		out = append(out, seg)
+	}
+	return out
+}
+
+// mutexKind reports whether t is sync.Mutex or sync.RWMutex (rw true
+// for the latter).
+func mutexKind(t types.Type) (rw, ok bool) {
+	tn := namedOf(t)
+	if tn == nil || tn.Pkg() == nil || tn.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch tn.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// mutexField looks up a mutex field by name on a struct type.
+func mutexField(owner *types.TypeName, field string) (rw, ok bool) {
+	st, isStruct := owner.Type().Underlying().(*types.Struct)
+	if !isStruct {
+		return false, false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == field {
+			return mutexKind(f.Type())
+		}
+	}
+	return false, false
+}
+
+type lockKey struct {
+	mu      *types.TypeName
+	muField string
+	read    bool // RLock (read-only) vs Lock
+}
+
+// checkGuardedAccesses verifies every guarded-field access in fn
+// against the Lock/RLock calls the same function contains.
+func checkGuardedAccesses(pass *Pass, specs map[*types.TypeName]map[string]guardSpec, fn *ast.FuncDecl) {
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		return
+	}
+	if pass.suppressed(fn.Pos(), "guarded-by-caller") {
+		return
+	}
+	info := pass.Pkg.Info
+
+	// Locks held somewhere in this function, by (owner type, field).
+	locks := make(map[lockKey]bool)
+	// Selector nodes that appear as assignment targets.
+	writes := make(map[*ast.SelectorExpr]bool)
+	markWrite := func(e ast.Expr) {
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			writes[sel] = true
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(s.X)
+		case *ast.CallExpr:
+			outer, ok := s.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			method := outer.Sel.Name
+			if method != "Lock" && method != "RLock" {
+				return true
+			}
+			inner, ok := ast.Unparen(outer.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base := namedOf(info.TypeOf(inner.X))
+			if base == nil {
+				return true
+			}
+			if _, isMutex := mutexKind(info.TypeOf(outer.X)); isMutex {
+				locks[lockKey{mu: base, muField: inner.Sel.Name, read: method == "RLock"}] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base := namedOf(info.TypeOf(sel.X))
+		if base == nil {
+			return true
+		}
+		spec, ok := specs[base][sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		write := writes[sel]
+		if locks[lockKey{mu: spec.mu, muField: spec.muField, read: false}] {
+			return true // write lock covers reads and writes
+		}
+		if !write && locks[lockKey{mu: spec.mu, muField: spec.muField, read: true}] {
+			return true
+		}
+		verb := "read"
+		if write {
+			verb = "write to"
+		}
+		need := "Lock"
+		if spec.rw && !write {
+			need = "Lock or RLock"
+		}
+		pass.Reportf(sel.Sel.Pos(), "%s %s.%s without holding %s.%s (declared `guards`/`guarded by`): call %s.%s, suffix the function name with Locked, or annotate //lint:guarded-by-caller <reason>",
+			verb, base.Name(), sel.Sel.Name, spec.mu.Name(), spec.muField, spec.muField, need)
+		return true
+	})
+}

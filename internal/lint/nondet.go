@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Nondet bans the three classic nondeterminism leaks inside solver
+// call graphs: time.Now (results must not depend on when they were
+// computed — timing belongs in the caller, annotate //lint:wallclock
+// when a Now is provably timing-only), the global math/rand functions
+// (process-seeded; a solver that needs randomness must thread a seeded
+// *rand.Rand), and fmt printing of map-typed values (formatting order
+// of composite keys is not guaranteed across versions, and printed
+// output feeds golden files).
+//
+// The check is scoped by an intra-package call graph seeded at the
+// solver entry points: functions/methods whose lowercased name starts
+// with solve, prepare, analyze, ground, or chase, plus buildTracker
+// and buildIncidence. Everything reachable from a seed (within the
+// package) is checked; helpers only called from main, tests, or HTTP
+// handlers are not.
+var Nondet = &Analyzer{
+	Name: "nondet",
+	Doc:  "bans time.Now, global math/rand, and map printing inside solver call graphs",
+	Run:  runNondet,
+}
+
+var nondetSeedPrefixes = []string{"solve", "prepare", "analyze", "ground", "chase"}
+
+var nondetSeedExact = map[string]bool{
+	"buildtracker":   true,
+	"buildincidence": true,
+}
+
+// randSafe are the math/rand package-level constructors that produce a
+// seedable generator — using them is how a solver is supposed to get
+// randomness.
+var randSafe = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func nondetSeed(name string) bool {
+	l := strings.ToLower(name)
+	if nondetSeedExact[l] {
+		return true
+	}
+	for _, p := range nondetSeedPrefixes {
+		if strings.HasPrefix(l, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runNondet(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Collect every function/method declaration of the package.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+				decls[obj] = fn
+			}
+		}
+	}
+
+	// Intra-package call graph, then BFS from the solver seeds.
+	edges := make(map[*types.Func][]*types.Func)
+	for obj, fn := range decls {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(info, call)
+			if callee != nil && callee.Pkg() == pass.Pkg.Types {
+				edges[obj] = append(edges[obj], callee)
+			}
+			return true
+		})
+	}
+	reachable := make(map[*types.Func]bool)
+	var queue []*types.Func
+	for obj := range decls {
+		if nondetSeed(obj.Name()) {
+			reachable[obj] = true
+			queue = append(queue, obj)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range edges[cur] {
+			if !reachable[next] {
+				reachable[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+
+	for obj, fn := range decls {
+		if reachable[obj] {
+			checkNondetBody(pass, fn)
+		}
+	}
+}
+
+func checkNondetBody(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		switch callee.Pkg().Path() {
+		case "time":
+			if callee.Name() == "Now" && callee.Type().(*types.Signature).Recv() == nil {
+				if !pass.suppressed(call.Pos(), "wallclock") {
+					pass.Reportf(call.Pos(), "time.Now in a solver call graph (%s): results must not depend on wall-clock time — hoist timing to the caller or annotate //lint:wallclock <reason>", fn.Name.Name)
+				}
+			}
+		case "math/rand", "math/rand/v2":
+			sig := callee.Type().(*types.Signature)
+			if sig.Recv() == nil && !randSafe[callee.Name()] {
+				pass.Reportf(call.Pos(), "global math/rand.%s in a solver call graph (%s): process-seeded randomness is nondeterministic — thread a seeded *rand.Rand instead", callee.Name(), fn.Name.Name)
+			}
+		case "fmt":
+			if !strings.Contains(callee.Name(), "print") && !strings.Contains(callee.Name(), "Print") &&
+				!strings.HasPrefix(callee.Name(), "Sprint") && !strings.HasPrefix(callee.Name(), "Fprint") &&
+				callee.Name() != "Errorf" {
+				return true
+			}
+			for _, arg := range call.Args {
+				t := info.TypeOf(arg)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(arg.Pos(), "fmt.%s of a map value in a solver call graph (%s): formatted map order is not a stable contract — iterate sorted keys explicitly", callee.Name(), fn.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}

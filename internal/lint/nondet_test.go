@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"schemamap/internal/lint"
+	"schemamap/internal/lint/linttest"
+)
+
+func TestNondet(t *testing.T) {
+	linttest.Run(t, lint.Nondet, "nondet")
+}

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Regwire audits solver registration wiring, whole-program: every
+// core.Register call must use a compile-time-constant name; the
+// registering package must be imported — directly or transitively,
+// blank imports count like any other — from each wire root
+// (cmd/mapselect, cmd/benchrun, internal/serve), so a solver cannot
+// exist in the tree yet be invisible to the CLI, the bench harness, or
+// the server; and the registered name must appear (backticked) in the
+// README solver table, so documentation and registry cannot drift.
+//
+// Two shapes are exempt by construction: registrations in package
+// main (a binary-local solver — package main is unimportable, so the
+// reachability requirement is unsatisfiable and the solver is not part
+// of the library surface), and forwarding wrappers whose name argument
+// is a parameter of the enclosing exported function (the public
+// RegisterSolver API — the literal lives at the caller).
+//
+// The reachability and README checks need whole-program context, so
+// they run in the Finish hook and are disabled when the driver has no
+// module root (vettool mode) or analyzes a subset of packages.
+var Regwire = &Analyzer{
+	Name:   "regwire",
+	Doc:    "registered solvers must be wired into every entry point and documented in the README",
+	Finish: finishRegwire,
+}
+
+type registration struct {
+	pkg  *Package
+	name string // registered solver name ("" when not constant)
+	diag Diagnostic
+}
+
+func finishRegwire(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	regs := collectRegistrations(prog, &diags)
+	if len(regs) == 0 {
+		return diags
+	}
+
+	if len(prog.WireRoots) > 0 {
+		reach := make(map[string]map[string]bool, len(prog.WireRoots))
+		missingRoot := false
+		for _, root := range prog.WireRoots {
+			if prog.Package(root) == nil {
+				missingRoot = true
+				continue
+			}
+			reach[root] = reachableImports(prog, root)
+		}
+		// Only enforce when every root was loaded: on a partial load a
+		// "not reachable" verdict would be an artifact of the pattern,
+		// not a wiring bug.
+		if !missingRoot {
+			for _, reg := range regs {
+				var unreached []string
+				for _, root := range prog.WireRoots {
+					if !reach[root][reg.pkg.Path] {
+						unreached = append(unreached, root)
+					}
+				}
+				if len(unreached) > 0 {
+					sort.Strings(unreached)
+					diags = append(diags, Diagnostic{
+						Analyzer: "regwire",
+						Pos:      reg.diag.Pos,
+						Message: "solver " + regName(reg) + " is registered here but its package is not imported (even blank) from " +
+							strings.Join(unreached, ", ") + " — the solver is invisible there",
+					})
+				}
+			}
+		}
+	}
+
+	if prog.ReadmePath != "" {
+		readme, err := os.ReadFile(prog.ReadmePath)
+		if err == nil {
+			for _, reg := range regs {
+				if reg.name == "" {
+					continue
+				}
+				if !strings.Contains(string(readme), "`"+reg.name+"`") {
+					diags = append(diags, Diagnostic{
+						Analyzer: "regwire",
+						Pos:      reg.diag.Pos,
+						Message:  "registered solver `" + reg.name + "` is missing from the README solver table (" + path.Base(prog.ReadmePath) + ")",
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+func regName(reg registration) string {
+	if reg.name == "" {
+		return "(non-constant name)"
+	}
+	return "`" + reg.name + "`"
+}
+
+// collectRegistrations finds every call to the core registry's
+// Register across the program. Non-constant names are reported
+// immediately — the README audit cannot see through them — except in
+// the forwarding-wrapper shape, where the name is a parameter of the
+// enclosing exported function and the literal lives at the caller.
+func collectRegistrations(prog *Program, diags *[]Diagnostic) []registration {
+	var regs []registration
+	for _, pkg := range prog.Pkgs {
+		if pkg.Name == "main" {
+			continue // binary-local registration: unimportable by design
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, _ := decl.(*ast.FuncDecl)
+				ast.Inspect(decl, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := calleeOf(pkg.Info, call)
+					if callee == nil || callee.Name() != "Register" || callee.Pkg() == nil || path.Base(callee.Pkg().Path()) != "core" {
+						return true
+					}
+					if len(call.Args) == 0 {
+						return true
+					}
+					reg := registration{pkg: pkg, diag: Diagnostic{Analyzer: "regwire", Pos: call.Pos()}}
+					if tv, ok := pkg.Info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+						reg.name = constant.StringVal(tv.Value)
+					} else {
+						if forwardedParam(pkg, fn, call.Args[0]) {
+							return true // wrapper API; audited at its call sites
+						}
+						*diags = append(*diags, Diagnostic{
+							Analyzer: "regwire",
+							Pos:      call.Args[0].Pos(),
+							Message:  "core.Register with a non-constant solver name: use a string literal so wiring and the README can be audited",
+						})
+					}
+					regs = append(regs, reg)
+					return true
+				})
+			}
+		}
+	}
+	return regs
+}
+
+// forwardedParam reports whether arg is a parameter of the enclosing
+// exported function — the forwarding-wrapper shape.
+func forwardedParam(pkg *Package, fn *ast.FuncDecl, arg ast.Expr) bool {
+	if fn == nil || !fn.Name.IsExported() {
+		return false
+	}
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	sig, ok := pkg.Info.Defs[fn.Name].Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// reachableImports BFSes the module-local import graph from root and
+// returns the set of reachable package paths (including root).
+func reachableImports(prog *Program, root string) map[string]bool {
+	seen := map[string]bool{root: true}
+	queue := []string{root}
+	for len(queue) > 0 {
+		cur := prog.Package(queue[0])
+		queue = queue[1:]
+		if cur == nil {
+			continue
+		}
+		for _, f := range cur.Files {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if prog.Package(p) == nil || seen[p] {
+					continue
+				}
+				seen[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return seen
+}

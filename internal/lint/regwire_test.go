@@ -1,0 +1,34 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"schemamap/internal/lint"
+	"schemamap/internal/lint/linttest"
+)
+
+func TestRegwire(t *testing.T) {
+	linttest.RunProgram(t, lint.Regwire, func(prog *lint.Program) {
+		prog.WireRoots = []string{
+			"regwire/cmd/mapselect",
+			"regwire/cmd/benchrun",
+			"regwire/serve",
+		}
+		prog.ReadmePath = filepath.Join("testdata", "src", "regwire", "README.md")
+	}, "regwire/...")
+}
+
+// With WireRoots and ReadmePath unset (vettool/subset mode) the
+// whole-program checks stand down; only the per-call non-constant-name
+// check remains.
+func TestRegwireSubsetMode(t *testing.T) {
+	prog, err := lint.LoadProgram(lint.LoadConfig{Dir: "testdata/src"}, "regwire/core", "regwire/orphan", "regwire/solvers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunAnalyzers(prog, []*lint.Analyzer{lint.Regwire})
+	if len(diags) != 0 {
+		t.Fatalf("subset mode reported %d diagnostics, want 0: %+v", len(diags), diags)
+	}
+}

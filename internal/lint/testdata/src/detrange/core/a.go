@@ -1,0 +1,85 @@
+// Package core exercises detrange: its basename puts it in the
+// result-affecting set, so order-sensitive map ranges must be flagged
+// and the commutative / annotated forms must pass.
+package core
+
+import "sort"
+
+// Flagged: string concatenation depends on iteration order.
+func concat(m map[string]string) string {
+	s := ""
+	for _, v := range m { // want "range over map: iteration order is nondeterministic"
+		s += v
+	}
+	return s
+}
+
+// Flagged: float accumulation is not associative.
+func sumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+// Flagged: appending values (not keys) bakes the order in.
+func values(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "range over map"
+		out = append(out, v)
+	}
+	return out
+}
+
+// OK: collect the keys, sort, then work in sorted order.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// OK: integer counting commutes.
+func count(m map[string]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// OK: integer += commutes.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// OK: per-key insert into another map; each key is written once.
+func invert(m map[string]int) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// OK: per-key delete.
+func prune(m, dead map[string]int) {
+	for k := range dead {
+		delete(m, k)
+	}
+}
+
+// OK: annotated with a reason.
+func annotated(m map[string]chan int) {
+	//lint:commutative closing is per-channel; no cross-key state
+	for _, ch := range m {
+		close(ch)
+	}
+}

@@ -1,0 +1,12 @@
+// Package other is outside the result-affecting set: the same
+// order-sensitive range detrange flags in core must pass untouched
+// here.
+package other
+
+func concat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

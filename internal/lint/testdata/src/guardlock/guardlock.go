@@ -1,0 +1,88 @@
+// Package guardlock exercises the guard-comment grammar and the
+// per-function lock check.
+package guardlock
+
+import "sync"
+
+type Server struct {
+	mu    sync.Mutex // guards data, count
+	data  map[string]int
+	count int
+
+	rw   sync.RWMutex // guards view
+	view []int
+}
+
+// OK: read and write under the full lock.
+func (s *Server) Good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	return s.count
+}
+
+// Flagged: lock-free read of a guarded field.
+func (s *Server) Bad() int {
+	return s.count // want "read Server.count without holding Server.mu"
+}
+
+// Flagged: mutating through the guarded map without the lock.
+func (s *Server) BadMap() {
+	s.data["x"] = 1 // want "read Server.data without holding Server.mu"
+}
+
+// OK: RLock suffices for a read under an RWMutex.
+func (s *Server) GoodRead() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return len(s.view)
+}
+
+// Flagged: a write needs the write lock, RLock is not enough.
+func (s *Server) BadRW() {
+	s.rw.RLock()
+	s.view = append(s.view, 1) // want "write to Server.view without holding Server.rw"
+	s.rw.RUnlock()
+}
+
+// OK: the Locked suffix promises the caller holds the lock.
+func (s *Server) countLocked() int {
+	return s.count
+}
+
+// OK: annotated with a reason.
+//
+//lint:guarded-by-caller constructor-only helper; no concurrent access yet
+func (s *Server) seed() {
+	s.count = 1
+}
+
+type Child struct {
+	val int // guarded by Server.mu
+}
+
+// Flagged: cross-struct guard — Child.val needs the Server's mutex.
+func (c *Child) Bad() int {
+	return c.val // want "read Child.val without holding Server.mu"
+}
+
+// OK: holding the declaring struct's mutex covers the cross-struct
+// field.
+func readChild(s *Server, c *Child) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return c.val
+}
+
+// Malformed comments are themselves findings.
+type Weird struct {
+	// guards nothing that parses
+	mu sync.Mutex // want "guards comment on Weird.mu names no parseable sibling fields"
+
+	// guarded by Missing.mu
+	a int // want "no type Missing in this package"
+
+	// guarded by Weird.b
+	c int // want "has no sync.Mutex/RWMutex field b"
+	b int
+}

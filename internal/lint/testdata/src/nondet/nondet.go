@@ -1,0 +1,40 @@
+// Package nondet exercises the solver-call-graph nondeterminism bans:
+// the entry points (Solve/Prepare/... names) and everything they reach
+// are checked; unreachable helpers are not.
+package nondet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+type S struct{}
+
+func (S) Solve(m map[string]int) string {
+	start := time.Now() // want "time.Now in a solver call graph"
+	helper()
+	_ = start
+	return fmt.Sprint(m) // want "fmt.Sprint of a map value in a solver call graph"
+}
+
+// helper is reachable from Solve, so the ban applies here too.
+func helper() {
+	_ = rand.Int() // want `global math/rand.Int in a solver call graph`
+}
+
+// outside is not reachable from any seed: wall-clock use is fine.
+func outside() time.Time {
+	return time.Now()
+}
+
+// Prepare shows the allowed forms: an annotated timing-only Now and a
+// seeded generator.
+func Prepare() int64 {
+	//lint:wallclock timing-only: feeds a latency metric, never the result
+	start := time.Now()
+	r := rand.New(rand.NewSource(1))
+	return start.Unix() + r.Int63()
+}
+
+var _ = outside

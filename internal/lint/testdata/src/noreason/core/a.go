@@ -1,0 +1,13 @@
+// Package core holds the reasonless-annotation fixture: the
+// annotation comment is the flagged line's only comment, so the
+// expectations live in the Go test rather than want comments.
+package core
+
+func concat(m map[string]string) string {
+	s := ""
+	//lint:commutative
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

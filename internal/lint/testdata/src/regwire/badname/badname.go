@@ -1,0 +1,17 @@
+// Package badname holds the non-constant-name cases: a computed name
+// is flagged, a forwarding wrapper whose name is a parameter of the
+// enclosing exported function is not.
+package badname
+
+import "regwire/core"
+
+var dynamic = "dyn" + "amic"
+
+func init() {
+	core.Register(dynamic, func() any { return nil }) // want "core.Register with a non-constant solver name"
+}
+
+// RegisterAlias is the wrapper shape: the literal lives at the caller.
+func RegisterAlias(name string, factory func() any) {
+	core.Register(name, factory)
+}

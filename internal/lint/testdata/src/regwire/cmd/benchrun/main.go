@@ -1,0 +1,9 @@
+// The benchrun root imports solvers and badname but not orphan.
+package main
+
+import (
+	_ "regwire/badname"
+	_ "regwire/solvers"
+)
+
+func main() {}

@@ -1,0 +1,17 @@
+// The mapselect root imports every solver package; registrations in
+// package main itself are exempt (main is unimportable by design).
+package main
+
+import (
+	"regwire/core"
+
+	_ "regwire/badname"
+	_ "regwire/orphan"
+	_ "regwire/solvers"
+)
+
+func init() {
+	core.Register("debug-local", func() any { return nil })
+}
+
+func main() {}

@@ -1,0 +1,9 @@
+// Package core is the fixture registry: regwire matches any Register
+// function in a package whose basename is core.
+package core
+
+var registry = map[string]func() any{}
+
+func Register(name string, factory func() any) {
+	registry[name] = factory
+}

@@ -1,0 +1,10 @@
+// Package orphan registers a solver but is only imported from one of
+// the three wire roots — the reachability check must name the other
+// two.
+package orphan
+
+import "regwire/core"
+
+func init() {
+	core.Register("orphan", func() any { return nil }) // want "solver `orphan` is registered here but its package is not imported .even blank. from regwire/cmd/benchrun, regwire/serve"
+}

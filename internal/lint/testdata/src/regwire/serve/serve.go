@@ -1,0 +1,10 @@
+// Package serve is the library-shaped wire root: it too must see
+// every registered solver.
+package serve
+
+import (
+	_ "regwire/badname"
+	_ "regwire/solvers"
+)
+
+func Handle() {}

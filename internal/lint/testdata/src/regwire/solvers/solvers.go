@@ -1,0 +1,10 @@
+// Package solvers registers from a package every wire root imports:
+// only the README audit can complain here.
+package solvers
+
+import "regwire/core"
+
+func init() {
+	core.Register("wired", func() any { return nil })
+	core.Register("undocumented", func() any { return nil }) // want "registered solver `undocumented` is missing from the README solver table"
+}

@@ -20,17 +20,17 @@ import (
 // create one with NewRegistry. All methods are safe for concurrent
 // use.
 type Registry struct {
-	mu       sync.Mutex
-	families []*family // in registration order
+	mu       sync.Mutex // guards families, byName (and every family's series map)
+	families []*family
 	byName   map[string]*family
 }
 
 // family groups the series of one metric name (HELP/TYPE are emitted
-// once per name, then one line per label value).
+// once per name, then one line per label value). name/help/typ are
+// immutable after creation.
 type family struct {
 	name, help, typ string
-	order           []string // label values in registration order
-	series          map[string]series
+	series          map[string]series // guarded by Registry.mu
 }
 
 type series interface {
@@ -42,6 +42,7 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]*family)}
 }
 
+//lint:guarded-by-caller get and WriteText hold r.mu around every family access
 func (r *Registry) family(name, help, typ string) *family {
 	f, ok := r.byName[name]
 	if !ok {
@@ -67,7 +68,6 @@ func (r *Registry) get(name, help, typ, label string, mk func() series) series {
 	if !ok {
 		s = mk()
 		f.series[label] = s
-		f.order = append(f.order, label)
 	}
 	return s
 }
@@ -112,15 +112,27 @@ func (r *Registry) histogramSeries(name, help, label string, buckets []float64) 
 }
 
 // WriteText renders every registered metric in the Prometheus text
-// exposition format, families in registration order.
+// exposition format. Output is byte-identical for equal metric state:
+// families render sorted by name and series sorted by label block, so
+// the order requests happened to create them in (a per-run artifact of
+// scheduling) never shows through. Serving tests diff /metrics bodies
+// directly and depend on this.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, f := range r.families {
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
 			return err
 		}
-		for _, label := range f.order {
+		labels := make([]string, 0, len(f.series))
+		for label := range f.series {
+			labels = append(labels, label)
+		}
+		sort.Strings(labels)
+		for _, label := range labels {
 			f.series[label].write(w, f.name, label)
 		}
 	}

@@ -51,6 +51,41 @@ func TestPromTextFormat(t *testing.T) {
 	}
 }
 
+// WriteText output must not depend on the order requests happened to
+// create metrics in: two registries holding the same state render
+// byte-identically whatever their creation order was.
+func TestWriteTextOrderIndependent(t *testing.T) {
+	build := func(order []func(*Registry)) string {
+		r := NewRegistry()
+		for _, f := range order {
+			f(r)
+		}
+		var b strings.Builder
+		if err := r.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	greedy := func(r *Registry) { r.CounterWith("solves_total", "Solves.", "solver", "greedy").Add(2) }
+	collective := func(r *Registry) { r.CounterWith("solves_total", "Solves.", "solver", "collective").Inc() }
+	sessions := func(r *Registry) { r.Counter("sessions_total", "Sessions.").Add(3) }
+	inflight := func(r *Registry) { r.Gauge("inflight", "In flight.").Set(1) }
+	hist := func(r *Registry) { r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1}).Observe(0.5) }
+
+	a := build([]func(*Registry){greedy, collective, sessions, inflight, hist})
+	b := build([]func(*Registry){hist, inflight, sessions, collective, greedy})
+	if a != b {
+		t.Fatalf("render depends on creation order:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	// And the order is the sorted one, so goldens stay stable.
+	if !strings.Contains(a, "inflight") || strings.Index(a, "# HELP inflight") > strings.Index(a, "# HELP latency_seconds") {
+		t.Errorf("families not sorted by name:\n%s", a)
+	}
+	if strings.Index(a, `solver="collective"`) > strings.Index(a, `solver="greedy"`) {
+		t.Errorf("series not sorted by label:\n%s", a)
+	}
+}
+
 func TestCounterIdentity(t *testing.T) {
 	r := NewRegistry()
 	a := r.Counter("x_total", "x")

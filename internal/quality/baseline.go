@@ -75,10 +75,12 @@ func (b *Baseline) Restrict(solvers []string, cells []Cell) *Baseline {
 		keepCell[c.Name] = true
 	}
 	out := &Baseline{Cells: make(map[string]map[string]CellScore), RecordedOn: b.RecordedOn}
+	//lint:commutative rebuilds a map keyed by the iteration keys; each (solver, cell) is written once
 	for solver, gated := range b.Cells {
 		if len(keepSolver) > 0 && !keepSolver[solver] {
 			continue
 		}
+		//lint:commutative filtered per-key insert into out.Cells[solver]; each cell is written once
 		for cellName, score := range gated {
 			if len(keepCell) > 0 && !keepCell[cellName] {
 				continue
@@ -124,6 +126,7 @@ func (b *Baseline) Merge(update *Baseline) {
 	if b.Cells == nil {
 		b.Cells = make(map[string]map[string]CellScore)
 	}
+	//lint:commutative per-key overwrite into b.Cells; each (solver, cell) is written once
 	for solver, gated := range update.Cells {
 		if b.Cells[solver] == nil {
 			b.Cells[solver] = make(map[string]CellScore)

@@ -310,6 +310,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no such session"))
 		return
 	}
+	s.mu.Lock()
+	lastUsed := sess.lastUsed
+	s.mu.Unlock()
 	sess.mu.RLock()
 	resp := statusResponse{
 		ID:             sess.id,
@@ -324,7 +327,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		RemovedTuples:  sess.removed.Load(),
 		SourceDeltas:   sess.srcDeltas.Load(),
 		CreatedAt:      sess.created.UTC().Format(time.RFC3339Nano),
-		LastUsedAt:     sess.lastUsed.UTC().Format(time.RFC3339Nano),
+		LastUsedAt:     lastUsed.UTC().Format(time.RFC3339Nano),
 	}
 	sess.mu.RUnlock()
 	sess.lastMu.Lock()

@@ -180,6 +180,78 @@ func TestConcurrentSolveAndRemove(t *testing.T) {
 	}
 }
 
+// Full-lifecycle churn under contention: solves race target removals
+// AND source deltas on one session. Removal forks, the first source
+// delta detaches, warm re-solves continue throughout — every request
+// must succeed, the evidence counts must land exactly, and the race
+// detector (this test is in the CI race job's package set) must stay
+// quiet. CI's race job also drives the batch equivalent via
+// benchrun -churn.
+func TestConcurrentChurn(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sc := testScenario(t)
+
+	var created createResponse
+	if code := call(t, "POST", ts.URL+"/sessions", createRequest{Name: "test"}, &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	victims := sc.J.All()[:4]
+	srcVictims := sc.I.All()[:4]
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if code := call(t, "POST", ts.URL+"/sessions/"+created.ID+"/solve",
+					solveRequest{Solver: "greedy"}, nil); code != http.StatusOK {
+					errs <- fmt.Errorf("solve: status %d", code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, v := range srcVictims {
+			if code := call(t, "POST", ts.URL+"/sessions/"+created.ID+"/source-delta",
+				sourceDeltaRequest{Remove: []wireTuple{wireOf(v)}}, nil); code != http.StatusOK {
+				errs <- fmt.Errorf("source-delta: status %d", code)
+				return
+			}
+		}
+	}()
+	for _, v := range victims {
+		if code := call(t, "POST", ts.URL+"/sessions/"+created.ID+"/remove",
+			removeRequest{Tuples: []wireTuple{wireOf(v)}}, nil); code != http.StatusOK {
+			t.Errorf("remove: status %d", code)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	var st statusResponse
+	if code := call(t, "GET", ts.URL+"/sessions/"+created.ID, nil, &st); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if st.JTuples != sc.J.Len()-len(victims) {
+		t.Fatalf("after churn: %d target tuples, want %d", st.JTuples, sc.J.Len()-len(victims))
+	}
+	if st.SourceDeltas != int64(len(srcVictims)) || st.Removes != int64(len(victims)) {
+		t.Fatalf("churn counters %+v, want %d source deltas and %d removes", st, len(srcVictims), len(victims))
+	}
+	// A final solve on the fully churned session still answers.
+	if code := call(t, "POST", ts.URL+"/sessions/"+created.ID+"/solve", solveRequest{Solver: "greedy"}, nil); code != http.StatusOK {
+		t.Fatalf("final solve: status %d", code)
+	}
+}
+
 // The routes table and the handler must agree — and the table must
 // contain the endpoints the docs audit expects.
 func TestRoutesMatchHandler(t *testing.T) {

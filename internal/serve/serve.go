@@ -83,7 +83,7 @@ type Server struct {
 
 	slots chan struct{} // solve worker pool
 
-	mu       sync.Mutex // guards sessions, sessLRU, cache, cacheLRU, lastUsed/elem fields
+	mu       sync.Mutex // guards sessions, sessLRU, cache, cacheLRU (plus session/cacheEntry LRU fields marked "guarded by Server.mu")
 	sessions map[string]*session
 	sessLRU  *list.List // *session, front = most recently used
 	cache    map[string]*cacheEntry
@@ -112,7 +112,7 @@ type cacheEntry struct {
 	sc   *ibench.Scenario
 	p    *core.Problem
 	err  error
-	elem *list.Element
+	elem *list.Element // guarded by Server.mu
 }
 
 // session is one client session. mu serialises appends (Lock) against
@@ -122,6 +122,7 @@ type session struct {
 	id  string
 	key string
 
+	// mu guards p, sc, shared, detached
 	mu     sync.RWMutex
 	p      *core.Problem
 	sc     *ibench.Scenario
@@ -131,14 +132,14 @@ type session struct {
 	// plain Fork still aliases the shared source.
 	detached bool
 
-	lastMu sync.Mutex
+	lastMu sync.Mutex // guards last, lastF, solved
 	last   *core.Selection
 	lastF  float64
 	solved bool
 
 	created  time.Time
-	lastUsed time.Time // guarded by Server.mu
-	elem     *list.Element
+	lastUsed time.Time     // guarded by Server.mu
+	elem     *list.Element // guarded by Server.mu
 
 	solves, appends, appended   atomic.Int64
 	removes, removed, srcDeltas atomic.Int64
@@ -481,6 +482,8 @@ func (s *Server) liveSessions() int {
 
 // fork gives a shared session its private problem before the first
 // target mutation (copy-on-append). Callers hold sess.mu.
+//
+//lint:guarded-by-caller every caller holds sess.mu.Lock across the copy-on-append decision and the fork
 func (s *Server) fork(sess *session) {
 	forked := sess.p.Fork()
 	start := time.Now()
@@ -496,6 +499,8 @@ func (s *Server) fork(sess *session) {
 // fork still aliases the shared source instance, which a source delta
 // would mutate under every session of the scenario. Callers hold
 // sess.mu.
+//
+//lint:guarded-by-caller every caller holds sess.mu.Lock across the detach decision and the fork
 func (s *Server) forkDetached(sess *session) {
 	forked := sess.p.ForkDetached()
 	start := time.Now()

@@ -391,6 +391,59 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// The /metrics body is a deterministic function of metric state: the
+// skeleton (HELP/TYPE lines, metric names, label blocks, line order)
+// must be identical across two servers whose labelled series were
+// created in opposite arrival orders, and two quiet scrapes of one
+// server must be byte-identical. Values (latencies) differ per run, so
+// the cross-server comparison strips them.
+func TestMetricsRenderingDeterministic(t *testing.T) {
+	skeleton := func(solveOrder []string) (string, string) {
+		t.Helper()
+		_, ts := newTestServer(t, Config{})
+		var created createResponse
+		call(t, "POST", ts.URL+"/sessions", createRequest{Name: "test"}, &created)
+		for _, solver := range solveOrder {
+			if code := call(t, "POST", ts.URL+"/sessions/"+created.ID+"/solve", solveRequest{Solver: solver}, nil); code != http.StatusOK {
+				t.Fatalf("solve %s: status %d", solver, code)
+			}
+		}
+		get := func() string {
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(b)
+		}
+		first := get()
+		second := get()
+		var lines []string
+		for _, line := range strings.Split(first, "\n") {
+			// Keep each line's name+labels, drop the value column.
+			if fields := strings.Fields(line); len(fields) > 0 && !strings.HasPrefix(line, "#") {
+				lines = append(lines, fields[0])
+			} else {
+				lines = append(lines, line)
+			}
+		}
+		return strings.Join(lines, "\n"), first + "\x00" + second
+	}
+
+	skelA, scrapesA := skeleton([]string{"greedy", "independent"})
+	skelB, _ := skeleton([]string{"independent", "greedy"})
+	if skelA != skelB {
+		t.Errorf("metrics skeleton depends on series arrival order:\n--- A ---\n%s\n--- B ---\n%s", skelA, skelB)
+	}
+	if parts := strings.Split(scrapesA, "\x00"); parts[0] != parts[1] {
+		t.Errorf("two quiet scrapes differ:\n--- first ---\n%s--- second ---\n%s", parts[0], parts[1])
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	if code := call(t, "POST", ts.URL+"/sessions", map[string]string{"bogus": "field"}, nil); code != http.StatusBadRequest {

@@ -77,7 +77,7 @@ func (s Solver) Solve(ctx context.Context, p *core.Problem, options ...core.Solv
 	if err := p.CheckFresh(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:wallclock timing-only: feeds Selection.Elapsed and the soft budget, never the selection
 	var deadline time.Time
 	if cfg.Budget > 0 {
 		deadline = start.Add(cfg.Budget)
@@ -218,6 +218,7 @@ func (s Solver) solveShard(ctx context.Context, sh Shard, inner core.Solver, tin
 		return &core.Selection{Chosen: []bool{}}, nil
 	}
 	warm := sliceWarm(cfg.Warm, sh.Candidates)
+	//lint:wallclock soft-budget bookkeeping: affects only where truncation stops, which Truncated reports
 	if !deadline.IsZero() && !time.Now().Before(deadline) {
 		// The shared budget ran out before this shard started: return
 		// the best selection known without solving (the warm one, or
